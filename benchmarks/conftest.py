@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration.
+
+Each ``test_bench_*`` module regenerates one paper table/figure (see
+DESIGN.md §3).  Benchmarks both *measure* (pytest-benchmark timings of the
+regeneration) and *verify* (assert the paper's qualitative shape on the
+produced rows), and print the paper-style table once per module so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the results report.
+"""

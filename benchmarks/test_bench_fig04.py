@@ -1,0 +1,26 @@
+"""Fig. 4 / Fig. 7(c): hierarchy on kernel vs LIFL data plane."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig04_hierarchy_dataplane as fig4
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig4.run()
+
+
+def test_bench_fig04_round_times(benchmark, rows):
+    out = benchmark(fig4.run)
+    by = {r.setting: r.round_seconds for r in out}
+    assert by["WH (LIFL)"] < by["WH (kernel)"] < by["NH (kernel)"]
+
+
+def test_fig04_report(rows, capsys):
+    by = {r.setting: r.round_seconds for r in rows}
+    with capsys.disabled():
+        print("\n[Fig 4 / 7c] per-round seconds (paper: NH 59.8, WH 57, LIFL 44.9)")
+        for name, secs in by.items():
+            print(f"  {name:12s} {secs:6.1f}s")

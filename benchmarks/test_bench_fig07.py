@@ -1,0 +1,36 @@
+"""Fig. 7(a)/(b): intra-node transfer latency and CPU per system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import RESNET152_BYTES
+from repro.dataplane.pipelines import PipelineKind, intra_node_pipeline
+from repro.experiments import fig07_dataplane as fig7
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig7.run()
+
+
+def test_bench_fig07_table(benchmark, rows):
+    out = benchmark(fig7.run)
+    ratios = fig7.headline_ratios(out)
+    assert 2.5 < ratios["sf_over_lifl"] < 3.5
+    assert 5.0 < ratios["sl_over_lifl"] < 6.5
+
+
+@pytest.mark.parametrize("kind", list(PipelineKind))
+def test_bench_fig07_single_transfer_cost(benchmark, kind):
+    """Micro-cost of evaluating one pipeline (the harness itself)."""
+    pipeline = intra_node_pipeline(kind)
+    result = benchmark(pipeline.cost, RESNET152_BYTES)
+    assert result.latency > 0
+
+
+def test_fig07_report(rows, capsys):
+    with capsys.disabled():
+        print("\n[Fig 7a/b] intra-node transfer (lat s / Gcycles)")
+        for r in rows:
+            print(f"  {r.model:11s} {r.system:4s} {r.latency_s:6.3f}s  {r.gcycles:6.2f}Gc")

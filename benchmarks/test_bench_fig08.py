@@ -1,0 +1,34 @@
+"""Fig. 8(a)-(d): orchestration ablation — ACT, CPU, creations, nodes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig08_orchestration as fig8
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig8.run()
+
+
+def test_bench_fig08_ablation(benchmark, rows):
+    out = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    # full-LIFL is the fastest config at every batch size
+    for batch in fig8.BATCHES:
+        acts = {r.config: r.act_s for r in out if r.batch == batch}
+        assert min(acts, key=acts.get) == "+1+2+3+4"
+
+
+def test_fig08_report(rows, capsys):
+    with capsys.disabled():
+        print("\n[Fig 8] config, batch -> ACT s / CPU s / created / nodes")
+        for r in rows:
+            print(
+                f"  {r.config:9s} n={r.batch:3d}  ACT={r.act_s:5.1f}s "
+                f"CPU={r.cpu_s:6.0f}s created={r.aggregators_created:2d} nodes={r.nodes_used}"
+            )
+        print(
+            f"  SL-H/+1 @20 = {fig8.act_ratio(rows, 'SL-H', '+1', 20):.2f}x (paper 2.1x), "
+            f"@60 = {fig8.act_ratio(rows, 'SL-H', '+1', 60):.2f}x (paper 1.13x)"
+        )

@@ -1,0 +1,39 @@
+"""Fig. 9: time-to-accuracy / cost-to-accuracy for both FL workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig09_fl_workloads as fig9
+
+
+@pytest.fixture(scope="module")
+def r18():
+    return fig9.run(fig9.RESNET18_SETUP)
+
+
+@pytest.fixture(scope="module")
+def r152():
+    return fig9.run(fig9.RESNET152_SETUP)
+
+
+def test_bench_fig09_resnet18(benchmark, r18):
+    out = benchmark.pedantic(fig9.run, args=(fig9.RESNET18_SETUP,), rounds=1, iterations=1)
+    tta = {k: v.time_to_accuracy(0.70) for k, v in out.items()}
+    assert tta["LIFL"] < tta["SF"] < tta["SL"]
+
+
+def test_bench_fig09_resnet152(benchmark, r152):
+    out = benchmark.pedantic(fig9.run, args=(fig9.RESNET152_SETUP,), rounds=1, iterations=1)
+    tta = {k: v.time_to_accuracy(0.70) for k, v in out.items()}
+    assert tta["LIFL"] < tta["SF"] < tta["SL"]
+
+
+def test_fig09_report(r18, r152, capsys):
+    with capsys.disabled():
+        for tag, results in [("ResNet-18", r18), ("ResNet-152", r152)]:
+            print(f"\n[Fig 9] {tag} to 70% accuracy (paper: {fig9.PAPER[tag]})")
+            for name, res in results.items():
+                tta = res.time_to_accuracy(0.70) / 3600
+                cta = res.cost_to_accuracy(0.70) / 3600
+                print(f"  {name:5s} tta={tta:5.2f}h  cpu={cta:6.2f}h  rounds={res.rounds}")

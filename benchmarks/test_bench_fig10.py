@@ -1,0 +1,28 @@
+"""Fig. 10: arrival-rate / active-aggregator / CPU-per-round time series."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig10_timeseries as fig10
+
+
+@pytest.fixture(scope="module")
+def series18():
+    return fig10.run(fig10.RESNET18_SETUP, max_rounds=40)
+
+
+def test_bench_fig10_series(benchmark, series18):
+    out = benchmark.pedantic(
+        fig10.run, args=(fig10.RESNET18_SETUP,), kwargs={"max_rounds": 20}, rounds=1, iterations=1
+    )
+    assert set(out) == {"LIFL", "SF", "SL"}
+    sf = out["SF"]
+    assert len({p.active_aggregators for p in sf}) == 1  # always-on, flat
+
+
+def test_fig10_report(series18, capsys):
+    with capsys.disabled():
+        print("\n[Fig 10] ResNet-18 means over 40 rounds")
+        for name, a, b, c in fig10.summarize(series18):
+            print(f"  {name:5s} arrivals/min={a:>4s} active-aggs={b:>3s} CPU/round={c:>5s}s")

@@ -1,0 +1,34 @@
+"""Fig. 13 / Appendix F: message-queuing overheads of the Fig. 5 designs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import RESNET152_BYTES
+from repro.dataplane.pipelines import QueuingDesign, queuing_pipeline
+from repro.experiments import fig13_queuing as fig13
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig13.run()
+
+
+def test_bench_fig13_table(benchmark, rows):
+    out = benchmark(fig13.run)
+    k = fig13.ratios_at_m3(out)
+    assert k["mem_slb_over_mono"] == pytest.approx(3.0)
+
+
+@pytest.mark.parametrize("design", list(QueuingDesign))
+def test_bench_fig13_single_design(benchmark, design):
+    pipeline = queuing_pipeline(design)
+    result = benchmark(pipeline.cost, RESNET152_BYTES)
+    assert result.buffer_copies >= 1
+
+
+def test_fig13_report(rows, capsys):
+    with capsys.disabled():
+        print("\n[Fig 13] queuing designs (CPU s / copies / delay s)")
+        for r in rows:
+            print(f"  {r.model:10s} {r.design:8s} {r.cpu_s:5.2f}  {r.memory_copies}  {r.delay_s:5.2f}")

@@ -1,0 +1,77 @@
+"""Datacenter scenario (the paper's ResNet-152 setup) + orchestration tour.
+
+Part 1 — heavyweight updates: 15 always-on server clients train a 232 MB
+model; stable arrivals (Fig. 10(d)); LIFL vs SF vs SL.
+
+Part 2 — the Fig. 8 orchestration ablation at a glance: what each of
+LIFL's control-plane features (locality-aware placement, hierarchy
+planning, reuse, eager aggregation) buys on a burst of 20 concurrent
+ResNet-152 updates.
+
+Run:  python examples/datacenter_training.py
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import make_rng
+from repro.common.units import RESNET152_BYTES, fmt_duration
+from repro.core.platform import AggregationPlatform, PlatformConfig
+from repro.core.rounds import FLWorkloadConfig, run_fl_workload
+from repro.fl.convergence import curve_for
+from repro.fl.model import model_spec
+from repro.workloads.arrival import concurrent_arrivals
+from repro.workloads.fedscale import SERVER_PROFILE, make_population
+
+
+def part1_workload() -> None:
+    spec = model_spec("resnet152")
+    population = make_population(60, spec, SERVER_PROFILE, seed=0)
+    workload = FLWorkloadConfig(
+        spec=spec,
+        curve=curve_for("resnet152"),
+        aggregation_goal=12,
+        active_clients=15,
+        rounds=160,
+        target_accuracy=0.70,
+    )
+    print("ResNet-152, 15 always-on server clients, goal 12")
+    print("system  to-70%-acc   CPU-hours  rounds")
+    for name, platform in [
+        ("LIFL", AggregationPlatform(PlatformConfig.lifl())),
+        ("SF", AggregationPlatform(PlatformConfig.serverful(instances=9))),
+        ("SL", AggregationPlatform(PlatformConfig.serverless())),
+    ]:
+        result = run_fl_workload(platform, population, workload, make_rng(5, name))
+        tta = result.time_to_accuracy(0.70)
+        cta = result.cost_to_accuracy(0.70)
+        print(
+            f"{name:6s}  {fmt_duration(tta) if tta else 'n/a':>10s}"
+            f"  {cta / 3600 if cta else float('nan'):9.2f}  {result.rounds:6d}"
+        )
+
+
+def part2_orchestration() -> None:
+    print("\norchestration ablation: 20 concurrent ResNet-152 updates, 5 nodes")
+    print("config                    ACT(s)  CPU(s)  created  nodes")
+    configs = [
+        ("SL-H (vanilla control)", PlatformConfig.sl_h()),
+        ("+ locality-aware (1)", PlatformConfig.sl_h(placement_policy="bestfit", locality_aware=True)),
+        ("+ hierarchy plan (2)", PlatformConfig.sl_h(placement_policy="bestfit", locality_aware=True, prewarm=True)),
+        ("+ runtime reuse (3)", PlatformConfig.sl_h(placement_policy="bestfit", locality_aware=True, prewarm=True, reuse=True)),
+        ("+ eager agg (4) = LIFL", PlatformConfig.lifl()),
+    ]
+    rng = make_rng(1, "burst")
+    arrivals = [(t, 1.0) for t in concurrent_arrivals(20, jitter=3.0, rng=rng)]
+    for name, cfg in configs:
+        platform = AggregationPlatform(cfg)
+        platform.run_round(arrivals, RESNET152_BYTES, include_eval=False)  # warm
+        r = platform.run_round(arrivals, RESNET152_BYTES, include_eval=False)
+        print(
+            f"{name:24s}  {r.act:6.1f}  {r.cpu_total:6.0f}  {r.aggregators_created:7d}"
+            f"  {r.nodes_used:5d}"
+        )
+
+
+if __name__ == "__main__":
+    part1_workload()
+    part2_orchestration()

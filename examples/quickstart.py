@@ -1,0 +1,61 @@
+"""Quickstart: federated learning on the LIFL platform in ~30 lines of API.
+
+Trains a real NumPy MLP with FedAvg over a synthetic non-IID federated
+dataset, while the LIFL simulation platform accounts the aggregation
+system's time and CPU for every round.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import make_rng
+from repro.core.platform import AggregationPlatform, PlatformConfig
+from repro.fl.datasets import make_federated_dataset
+from repro.fl.fedavg import FedAvgAccumulator, ModelUpdate
+from repro.fl.model import model_spec
+from repro.fl.training import MLP, LocalTrainer, TrainingConfig
+
+
+def main() -> None:
+    rng = make_rng(7, "quickstart")
+
+    # 1. A federated dataset: 30 clients, heavy label skew, power-law sizes.
+    dataset = make_federated_dataset(n_clients=30, num_classes=5, dim=16, seed=7)
+    mlp = MLP(dim=16, hidden=32, num_classes=5)
+    trainer = LocalTrainer(mlp, TrainingConfig(epochs=2, learning_rate=0.1))
+
+    # 2. The aggregation platform: full LIFL (shared-memory data plane,
+    #    BestFit placement, hierarchy planning, reuse, eager aggregation).
+    platform = AggregationPlatform(PlatformConfig.lifl())
+    spec = model_spec("mlp-small")
+
+    global_model = mlp.init_params(rng)
+    clients = list(dataset.shards.values())[:12]
+
+    print("round  accuracy  ACT(s)  CPU(s)  aggs  nodes")
+    for round_index in range(8):
+        accumulator = FedAvgAccumulator()
+        arrivals = []
+        for shard in clients:
+            local_params, _ = trainer.train(global_model, shard, rng)
+            accumulator.add(ModelUpdate(local_params, weight=float(shard.num_samples)))
+            arrivals.append((float(rng.uniform(0.0, 5.0)), float(shard.num_samples)))
+
+        # The platform simulates this round's aggregation system-side.
+        round_result = platform.run_round(arrivals, spec.nbytes, include_eval=False)
+        global_model = accumulator.result().model
+
+        accuracy = mlp.accuracy(global_model, dataset.test_features, dataset.test_labels)
+        print(
+            f"{round_index:5d}  {accuracy:8.3f}  {round_result.act:6.2f}"
+            f"  {round_result.cpu_total:6.1f}  {len(round_result.instances):4d}"
+            f"  {round_result.nodes_used:5d}"
+        )
+
+    assert accuracy > 0.7, "quickstart should learn the task"
+    print("\nDone: the global model learned the task while LIFL aggregated it.")
+
+
+if __name__ == "__main__":
+    main()

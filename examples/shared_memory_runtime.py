@@ -1,0 +1,130 @@
+"""The real LIFL node runtime, end to end — no simulation.
+
+Builds two worker "nodes" in-process with the actual mechanisms:
+``multiprocessing.shared_memory`` object stores with immutable objects and
+random 16-byte keys, sockmap routing tables, SKMSG-style event-driven key
+delivery, per-node gateways with inter-node routing (Appendix A / Fig. 12),
+eBPF-style metrics maps, and asynchronous model checkpointing (Appendix B).
+
+A two-level hierarchy (leaves on both nodes, top on node n0) aggregates six
+real tensor updates with weighted FedAvg; the result is checked against the
+one-shot average, and the global model is checkpointed.
+
+Run:  python examples/shared_memory_runtime.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro.common.errors import RoutingError
+from repro.common.rng import make_rng
+from repro.controlplane.agent import NodeAgent
+from repro.controlplane.hierarchy import plan_hierarchy
+from repro.controlplane.metrics import MetricsServer
+from repro.controlplane.tag import TagGraph
+from repro.fl.fedavg import FedAvgAccumulator, ModelUpdate, federated_average
+from repro.fl.model import Model
+from repro.runtime.gateway import encode_update
+
+
+class Aggregator:
+    """A real aggregator: consumes object keys, FedAvg-accumulates, sends."""
+
+    def __init__(self, agg_id, agent, fan_in, weights):
+        self.agg_id = agg_id
+        self.agent = agent
+        self.fan_in = fan_in
+        self.weights = weights
+        self.acc = FedAvgAccumulator()
+        self.received = 0
+        self.result_key = None
+
+    def deliver(self, src_id, key, dst_id):  # the sockmap "socket"
+        payload = self.agent.store.get(key)  # zero-copy read
+        self.acc.add(ModelUpdate(Model({"p": np.array(payload)}), weight=self.weights[src_id]))
+        self.agent.store.release(key)
+        self.received += 1
+        self.agent.metrics_map.on_aggregate(self.agg_id, 0.001)
+        if self.received == self.fan_in:
+            out = self.acc.result(producer=self.agg_id)
+            self.weights[self.agg_id] = out.weight
+            key_out = self.agent.store.put(out.model["p"])
+            try:
+                self.agent.router.send(self.agg_id, key_out)  # SKMSG
+            except RoutingError:
+                self.result_key = key_out  # we are the top aggregator
+
+
+def main() -> None:
+    rng = make_rng(0, "runtime-demo")
+    metrics = MetricsServer()
+    metrics.register_node("n0", 20)
+    metrics.register_node("n1", 20)
+
+    with tempfile.TemporaryDirectory() as ckpt_dir, \
+            NodeAgent("n0", metrics, checkpoint_dir=ckpt_dir) as n0, \
+            NodeAgent("n1", metrics) as n1:
+        agents = {"n0": n0, "n1": n1}
+
+        # The control plane plans a hierarchy: 4 updates on n0, 2 on n1.
+        plan = plan_hierarchy({"n0": 4, "n1": 2}, updates_per_leaf=2, top_node="n0")
+        tag = TagGraph.from_plan(plan)
+        print(f"hierarchy: {len(plan.aggregators)} aggregators, "
+              f"{tag.shared_memory_fraction():.0%} of channels on shared memory")
+
+        # Agents instantiate aggregators and program routes (App. A).
+        weights: dict[str, float] = {}
+        aggs = {}
+        for agg_id, spec in plan.aggregators.items():
+            agg = Aggregator(agg_id, agents[spec.node], spec.fan_in, weights)
+            aggs[agg_id] = agg
+            agents[spec.node].register_aggregator(agg_id, agg)
+        for agent in agents.values():
+            agent.apply_routes(plan, agents)
+
+        # Six clients upload real tensor updates through the gateways.
+        parents = {s.parent for s in plan.aggregators.values() if s.parent}
+        frontier = [s for s in plan.aggregators.values() if s.agg_id not in parents]
+        reference = []
+        uid = 0
+        for spec in frontier:
+            for _ in range(spec.fan_in):
+                tensor = rng.standard_normal(1024).astype(np.float32)
+                weight = float(rng.integers(1, 50))
+                client = f"client{uid}"
+                uid += 1
+                weights[client] = weight
+                reference.append(ModelUpdate(Model({"p": tensor}), weight=weight))
+                agents[spec.node].gateway.receive(
+                    encode_update(tensor), spec.agg_id, src_id=client
+                )
+
+        # The cascade ran synchronously; fetch the top's global model.
+        top = aggs[plan.top.agg_id]
+        global_model = n0.store.get(top.result_key)
+        expected = federated_average(reference).model["p"]
+        assert np.allclose(global_model, expected, rtol=1e-4, atol=1e-5)
+        print(f"global model aggregated over shared memory: {global_model.shape[0]} params, "
+              f"matches one-shot FedAvg: True")
+
+        # Checkpoint asynchronously (App. B) and verify recovery.
+        n0.checkpoint_model(1, {"p": np.array(global_model)})
+        n0.checkpoints.flush()
+        recovered = n0.checkpoints.load(1)["p"]
+        assert np.allclose(recovered, expected, rtol=1e-4, atol=1e-5)
+        print("checkpoint written and recovered: True")
+
+        # The agent drains eBPF metrics maps into the metrics server.
+        for name, agent in agents.items():
+            report = agent.drain_metrics(now=1.0, window=1.0)
+            print(f"{name}: arrival_rate={report['arrival_rate']:.0f}/s, "
+                  f"gateway rx={agent.gateway.rx_updates} updates "
+                  f"({agent.gateway.rx_bytes / 1e3:.0f} KB)")
+        n0.store.release(top.result_key)
+
+
+if __name__ == "__main__":
+    main()

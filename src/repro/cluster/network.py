@@ -1,0 +1,165 @@
+"""Processor-sharing network links and the cluster fabric.
+
+A NIC is modelled as a *processor-sharing* link: all active flows share the
+link capacity equally, and rates are recomputed whenever a flow starts or
+finishes.  This captures the contention the paper observes in Fig. 4, where
+four leaf aggregators sending intermediate updates to the top aggregator
+compete for the same NIC and kernel network processing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+
+class Flow:
+    """One in-flight transfer on a :class:`ProcessorSharingLink`."""
+
+    __slots__ = ("nbytes", "remaining", "done", "started_at", "label")
+
+    def __init__(self, env: Environment, nbytes: float, label: str = "") -> None:
+        if nbytes <= 0:
+            raise SimulationError(f"flow size must be positive, got {nbytes}")
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.done: Event = Event(env)
+        self.started_at = env.now
+        self.label = label
+
+
+class ProcessorSharingLink:
+    """A link of fixed capacity shared equally among its active flows.
+
+    ``capacity_bps`` is in **bytes per second** (the library's convention is
+    bytes everywhere; the 10 Gb NIC of the testbed is ``1.25e9``).
+    """
+
+    def __init__(self, env: Environment, capacity_bps: float, name: str = "link") -> None:
+        if capacity_bps <= 0:
+            raise SimulationError(f"link capacity must be positive, got {capacity_bps}")
+        self.env = env
+        self.capacity_bps = float(capacity_bps)
+        self.name = name
+        self._flows: list[Flow] = []
+        self._last_update = env.now
+        self._timer: Optional[Event] = None
+        self._timer_gen = 0
+        self.bytes_carried = 0.0
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def utilization_rate(self) -> float:
+        """Current aggregate send rate (bytes/s)."""
+        return self.capacity_bps if self._flows else 0.0
+
+    def transfer(self, nbytes: float, label: str = "") -> Event:
+        """Start a flow; the returned event fires at completion."""
+        self._advance()
+        flow = Flow(self.env, nbytes, label)
+        self._flows.append(flow)
+        self._reschedule()
+        return flow.done
+
+    # -- internals --------------------------------------------------------
+    def _per_flow_rate(self) -> float:
+        return self.capacity_bps / len(self._flows)
+
+    #: flows with less than this many bytes left are considered finished —
+    #: sub-byte residue is float noise, and sweeping it eagerly prevents
+    #: zero-length timer loops when timestamps collide
+    _EPSILON_BYTES = 0.5
+
+    def _advance(self) -> None:
+        """Drain progress accrued since the last state change."""
+        now = self.env.now
+        dt = now - self._last_update
+        self._last_update = now
+        if not self._flows:
+            return
+        sent = self._per_flow_rate() * dt if dt > 0 else 0.0
+        finished: list[Flow] = []
+        for f in self._flows:
+            if sent > 0:
+                self.bytes_carried += min(sent, f.remaining)
+                f.remaining -= sent
+            if f.remaining <= self._EPSILON_BYTES:
+                finished.append(f)
+        for f in finished:
+            self._flows.remove(f)
+            f.done.succeed(self.env.now - f.started_at)
+
+    def _reschedule(self) -> None:
+        """(Re)arm the timer for the next flow completion."""
+        self._timer_gen += 1
+        gen = self._timer_gen
+        if not self._flows:
+            return
+        rate = self._per_flow_rate()
+        next_done = min(f.remaining for f in self._flows) / rate
+        timer = self.env.timeout(max(next_done, 0.0))
+
+        def on_timer(_: Event) -> None:
+            if gen != self._timer_gen:
+                return  # superseded by a newer state change
+            self._advance()
+            self._reschedule()
+
+        timer.callbacks.append(on_timer)
+        self._timer = timer
+
+
+class Fabric:
+    """The cluster interconnect: one TX and one RX link per node.
+
+    A transfer from node A to node B occupies A's TX link and B's RX link;
+    its completion time is governed by the slower of the two (modelled by
+    running the bytes through both links sequentially at half size would be
+    wrong — instead we take the max of two concurrent flow completions).
+    """
+
+    def __init__(self, env: Environment, nic_bps: float) -> None:
+        self.env = env
+        self.nic_bps = float(nic_bps)
+        self._tx: dict[str, ProcessorSharingLink] = {}
+        self._rx: dict[str, ProcessorSharingLink] = {}
+
+    def register_node(self, name: str) -> None:
+        if name in self._tx:
+            raise SimulationError(f"node {name!r} already registered on fabric")
+        self._tx[name] = ProcessorSharingLink(self.env, self.nic_bps, f"{name}/tx")
+        self._rx[name] = ProcessorSharingLink(self.env, self.nic_bps, f"{name}/rx")
+
+    def tx_link(self, name: str) -> ProcessorSharingLink:
+        return self._tx[name]
+
+    def rx_link(self, name: str) -> ProcessorSharingLink:
+        return self._rx[name]
+
+    def transfer(self, src: str, dst: str, nbytes: float, label: str = "") -> Event:
+        """Move ``nbytes`` from ``src`` to ``dst``; fires when both NICs done.
+
+        Intra-node "transfers" (src == dst) complete immediately — higher
+        layers model the intra-node cost explicitly (shared memory vs
+        loopback kernel path) through the dataplane cost models.
+        """
+        if src not in self._tx or dst not in self._rx:
+            raise SimulationError(f"unknown endpoint in transfer {src!r}->{dst!r}")
+        if src == dst:
+            ev = Event(self.env)
+            ev.succeed(0.0)
+            return ev
+        tx_done = self._tx[src].transfer(nbytes, label)
+        rx_done = self._rx[dst].transfer(nbytes, label)
+        both = self.env.all_of([tx_done, rx_done])
+        result = Event(self.env)
+
+        def on_both(e: Event) -> None:
+            result.succeed(self.env.now)
+
+        both.callbacks.append(on_both)
+        return result

@@ -1,0 +1,75 @@
+"""Cluster assembly: a set of worker nodes on a common fabric."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.cluster.network import Fabric
+from repro.cluster.node import NodeSpec, WorkerNode
+from repro.sim.engine import Environment
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """How many aggregation nodes to build, and their hardware spec.
+
+    The paper (§6.2) uses 5 aggregation nodes out of 20; trainers live on
+    the remaining 15 and are modelled as traffic sources rather than nodes.
+    """
+
+    node_count: int = 5
+    node_template: NodeSpec = field(default_factory=lambda: NodeSpec(name="node"))
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ConfigError(f"cluster needs >= 1 node, got {self.node_count}")
+
+
+class Cluster:
+    """Worker nodes plus the interconnect fabric."""
+
+    def __init__(self, env: Environment, spec: ClusterSpec) -> None:
+        self.env = env
+        self.spec = spec
+        self.fabric = Fabric(env, spec.node_template.nic_bps)
+        self.nodes: dict[str, WorkerNode] = {}
+        for i in range(spec.node_count):
+            name = f"node{i}"
+            node_spec = NodeSpec(
+                name=name,
+                cores=spec.node_template.cores,
+                memory_bytes=spec.node_template.memory_bytes,
+                nic_bps=spec.node_template.nic_bps,
+                max_service_capacity=spec.node_template.max_service_capacity,
+            )
+            self.nodes[name] = WorkerNode(env, node_spec)
+            self.fabric.register_node(name)
+        # External traffic sources (clients/trainers) attach through a
+        # dedicated pseudo-endpoint so their NICs do not contend with
+        # aggregation nodes.
+        self.fabric.register_node("__external__")
+
+    @property
+    def node_names(self) -> list[str]:
+        return list(self.nodes)
+
+    def node(self, name: str) -> WorkerNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ConfigError(f"unknown node {name!r}; have {sorted(self.nodes)}") from None
+
+    def total_cpu_seconds(self, component: str | None = None) -> float:
+        """Cluster-wide CPU ledger total (optionally one component bucket)."""
+        if component is None:
+            return sum(n.cpu.total() for n in self.nodes.values())
+        return sum(n.cpu.get(component) for n in self.nodes.values())
+
+    def cpu_breakdown(self) -> dict[str, float]:
+        """Cluster-wide CPU-seconds per component bucket."""
+        out: dict[str, float] = {}
+        for node in self.nodes.values():
+            for comp, secs in node.cpu.buckets.items():
+                out[comp] = out.get(comp, 0.0) + secs
+        return out

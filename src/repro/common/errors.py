@@ -1,0 +1,36 @@
+"""Exception hierarchy for the LIFL reproduction.
+
+A single root (:class:`LiflError`) lets applications catch everything the
+library raises, while the specific subclasses keep error handling precise in
+tests and internal call sites.
+"""
+
+from __future__ import annotations
+
+
+class LiflError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class ConfigError(LiflError):
+    """A configuration value is missing, out of range, or inconsistent."""
+
+
+class SimulationError(LiflError):
+    """The discrete-event engine was misused (e.g. event scheduled in past)."""
+
+
+class CapacityExceededError(LiflError):
+    """A placement or admission decision would exceed a node's capacity."""
+
+
+class ObjectStoreError(LiflError):
+    """Shared-memory object store misuse (unknown key, double free, ...)."""
+
+
+class RoutingError(LiflError):
+    """No route exists for a (source, destination) aggregator pair."""
+
+
+class CalibrationError(LiflError):
+    """Calibration constants are inconsistent with the model they describe."""

@@ -1,0 +1,104 @@
+"""Structured timeline events.
+
+The paper's Figs. 4 and 7(c) are Gantt-style timelines of "Network", "Agg."
+and "Eval." tasks per aggregator.  :class:`EventLog` is the common sink those
+experiments (and the simulator generally) write to, and the plotting/report
+code reads from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineEvent:
+    """One horizontal bar in a timeline figure.
+
+    Attributes:
+        actor: row label, e.g. ``"Top"``, ``"LF1"``, ``"node3/gw"``.
+        kind: task category — the paper uses ``network`` / ``agg`` / ``eval``;
+            the control plane also logs ``coldstart`` / ``reuse`` / ``queue``.
+        start: event start time (seconds since experiment start).
+        end: event end time.
+        detail: free-form annotation (model version, peer, object key, ...).
+    """
+
+    actor: str
+    kind: str
+    start: float
+    end: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"event ends before it starts: {self}")
+
+
+@dataclass
+class EventLog:
+    """Append-only collection of :class:`TimelineEvent` with simple queries."""
+
+    events: list[TimelineEvent] = field(default_factory=list)
+
+    def record(self, actor: str, kind: str, start: float, end: float, detail: str = "") -> TimelineEvent:
+        ev = TimelineEvent(actor=actor, kind=kind, start=start, end=end, detail=detail)
+        self.events.append(ev)
+        return ev
+
+    def extend(self, events: Iterable[TimelineEvent]) -> None:
+        self.events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TimelineEvent]:
+        return iter(self.events)
+
+    def for_actor(self, actor: str) -> list[TimelineEvent]:
+        return [e for e in self.events if e.actor == actor]
+
+    def of_kind(self, kind: str) -> list[TimelineEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def actors(self) -> list[str]:
+        """Row labels in first-appearance order (stable for rendering)."""
+        seen: dict[str, None] = {}
+        for e in self.events:
+            seen.setdefault(e.actor, None)
+        return list(seen)
+
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end); (0.0, 0.0) when empty."""
+        if not self.events:
+            return (0.0, 0.0)
+        return (min(e.start for e in self.events), max(e.end for e in self.events))
+
+    def busy_time(self, actor: str, kind: str | None = None) -> float:
+        """Total bar length for an actor, optionally restricted to a kind."""
+        return sum(e.duration for e in self.events if e.actor == actor and (kind is None or e.kind == kind))
+
+    def render_ascii(self, width: int = 72) -> str:
+        """Render the log as an ASCII Gantt chart (used by example scripts)."""
+        lo, hi = self.span()
+        if hi <= lo:
+            return "(empty timeline)"
+        scale = width / (hi - lo)
+        glyphs = {"network": "N", "agg": "A", "eval": "E", "coldstart": "C", "queue": "q", "train": "T"}
+        lines = []
+        for actor in self.actors():
+            row = [" "] * width
+            for e in self.for_actor(actor):
+                a = int((e.start - lo) * scale)
+                b = max(a + 1, int((e.end - lo) * scale))
+                g = glyphs.get(e.kind, "#")
+                for i in range(a, min(b, width)):
+                    row[i] = g
+            lines.append(f"{actor:>8} |{''.join(row)}|")
+        lines.append(f"{'':>8}  {lo:.1f}s{'':>{max(0, width - 12)}}{hi:.1f}s")
+        return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the reproduction (client availability, training
+durations, data partitioning, ...) draws from a named stream derived from a
+single experiment seed, so that
+
+* a whole experiment is reproducible from one integer, and
+* adding a new consumer of randomness does not perturb existing streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int, stream: str = "") -> np.random.Generator:
+    """Create an independent generator for ``(seed, stream)``.
+
+    The stream name is folded into the seed sequence so distinct components
+    get decorrelated streams even with the same experiment seed.
+    """
+    spawn_key = tuple(stream.encode("utf-8")) if stream else ()
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed, spawn_key=spawn_key)))
+
+
+class RngRegistry:
+    """Factory handing out named, decorrelated RNG streams for one seed.
+
+    Components ask for streams by name (``registry.stream("clients")``); the
+    registry memoizes them so repeated lookups share state within a run.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = make_rng(self._seed, name)
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Derive a child registry (e.g. per-trial) with a distinct seed."""
+        child_seed = int(make_rng(self._seed, f"fork:{name}").integers(0, 2**63 - 1))
+        return RngRegistry(child_seed)

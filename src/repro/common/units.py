@@ -1,0 +1,75 @@
+"""Unit conventions used throughout the reproduction.
+
+All internal quantities use SI base units:
+
+* time — seconds (``float``),
+* data — bytes (``int`` where exactness matters, ``float`` in cost models),
+* CPU work — CPU-seconds (``float``) and cycles (``float``; the paper's
+  Fig. 7(b) reports Giga-cycles, converted with :data:`CYCLES_PER_SECOND`).
+
+The constants below let calling code say ``44 * MB`` or ``2 * MINUTES``
+instead of sprinkling magic powers of ten.
+"""
+
+from __future__ import annotations
+
+# Type aliases used in signatures for readability.  They are plain floats —
+# the simulator is numeric code and stays on the fast path.
+Seconds = float
+Bytes = float
+CpuSeconds = float
+Cycles = float
+
+KB: float = 1e3
+MB: float = 1e6
+GB: float = 1e9
+GIGA: float = 1e9
+
+MICROS: float = 1e-6
+MILLIS: float = 1e-3
+SECONDS: float = 1.0
+MINUTES: float = 60.0
+HOURS: float = 3600.0
+
+#: Clock rate of the paper's testbed CPUs (Intel Cascade Lake @ 2.8 GHz).
+#: Used to convert between CPU-seconds and the Giga-cycle axis of Fig. 7(b).
+CYCLES_PER_SECOND: float = 2.8e9
+
+#: Paper model sizes (§4.1, §6.1): a single model update's wire size.
+RESNET18_BYTES: float = 44 * MB
+RESNET34_BYTES: float = 83 * MB
+RESNET152_BYTES: float = 232 * MB
+
+
+def cpu_seconds_to_gcycles(cpu_seconds: CpuSeconds) -> float:
+    """Convert CPU-seconds to Giga-cycles at the testbed clock rate."""
+    return cpu_seconds * CYCLES_PER_SECOND / GIGA
+
+
+def gcycles_to_cpu_seconds(gcycles: float) -> CpuSeconds:
+    """Convert Giga-cycles (Fig. 7(b) axis) to CPU-seconds."""
+    return gcycles * GIGA / CYCLES_PER_SECOND
+
+
+def fmt_bytes(n: Bytes) -> str:
+    """Render a byte count the way the paper does (``~232MB``)."""
+    if n >= GB:
+        return f"{n / GB:.2f}GB"
+    if n >= MB:
+        return f"{n / MB:.1f}MB"
+    if n >= KB:
+        return f"{n / KB:.1f}KB"
+    return f"{n:.0f}B"
+
+
+def fmt_duration(seconds: Seconds) -> str:
+    """Render a duration compactly (``1.4h``, ``44.9s``, ``17ms``)."""
+    if seconds >= HOURS:
+        return f"{seconds / HOURS:.2f}h"
+    if seconds >= MINUTES:
+        return f"{seconds / MINUTES:.1f}min"
+    if seconds >= 1.0:
+        return f"{seconds:.1f}s"
+    if seconds >= MILLIS:
+        return f"{seconds / MILLIS:.1f}ms"
+    return f"{seconds / MICROS:.1f}us"

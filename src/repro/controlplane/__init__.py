@@ -1,0 +1,77 @@
+"""LIFL's control plane (§5).
+
+Pure-logic implementations of the orchestration algorithms — the exact code
+under test in Fig. 8 and the §6.1 overhead measurements:
+
+* :mod:`repro.controlplane.placement` — locality-aware placement as
+  bin-packing over residual service capacity (§5.1): BestFit (LIFL),
+  FirstFit, WorstFit (≈ Knative "least connection", the SL-H baseline);
+* :mod:`repro.controlplane.hierarchy` — two-level k-ary hierarchy plans per
+  node (§5.2);
+* :mod:`repro.controlplane.autoscaler` — hierarchy-aware autoscaling with
+  EWMA-smoothed queue estimates (§5.2), plus the threshold autoscaler
+  baseline (§2.3);
+* :mod:`repro.controlplane.reuse` — opportunistic reuse of warm aggregator
+  runtimes (§5.3);
+* :mod:`repro.controlplane.tag` — the Topology Abstraction Graph used for
+  fine-grained control (Appendix D);
+* :mod:`repro.controlplane.metrics` — the metrics server fed by the
+  eBPF-sidecar metrics maps;
+* :mod:`repro.controlplane.agent` / :mod:`repro.controlplane.coordinator` —
+  the per-node agent and the cluster-wide coordinator tying it together.
+"""
+
+from repro.controlplane.autoscaler import (
+    EwmaEstimator,
+    HierarchyAwareAutoscaler,
+    ThresholdAutoscaler,
+)
+from repro.controlplane.coordinator import Coordinator, OrchestrationConfig
+from repro.controlplane.hierarchy import (
+    AggregatorSpec,
+    HierarchyPlan,
+    NodeHierarchy,
+    Role,
+    plan_hierarchy,
+    plan_node_hierarchy,
+)
+from repro.controlplane.metrics import MetricsServer, NodeMetrics
+from repro.controlplane.placement import (
+    BestFitPlacer,
+    FirstFitPlacer,
+    NodeCapacity,
+    Placer,
+    PlacementPlan,
+    WorstFitPlacer,
+    make_placer,
+)
+from repro.controlplane.reuse import RuntimeHandle, WarmPool
+from repro.controlplane.tag import Channel, TagGraph, TagNode
+
+__all__ = [
+    "AggregatorSpec",
+    "BestFitPlacer",
+    "Channel",
+    "Coordinator",
+    "EwmaEstimator",
+    "FirstFitPlacer",
+    "HierarchyAwareAutoscaler",
+    "HierarchyPlan",
+    "MetricsServer",
+    "NodeCapacity",
+    "NodeHierarchy",
+    "NodeMetrics",
+    "OrchestrationConfig",
+    "Placer",
+    "PlacementPlan",
+    "Role",
+    "RuntimeHandle",
+    "TagGraph",
+    "TagNode",
+    "ThresholdAutoscaler",
+    "WarmPool",
+    "WorstFitPlacer",
+    "make_placer",
+    "plan_hierarchy",
+    "plan_node_hierarchy",
+]

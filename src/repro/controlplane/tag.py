@@ -1,0 +1,175 @@
+"""Topology Abstraction Graph (Appendix D).
+
+The TAG is the control plane's generic description of connectivity and
+placement affinity, borrowed from Flame: each graph node carries a ``role``
+("aggregator" or "client"), each edge a ``channel`` naming the communication
+mechanism, and channels carry a ``groupBy`` label — keeping the same label
+clusters roles into a placement-affinity group for locality-aware placement.
+
+Built on :mod:`networkx` so structural queries (roots, reachability,
+topological order) come for free; the LIFL agent consumes
+:meth:`TagGraph.routes` to program sockmaps and gateway routing tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+import networkx as nx
+
+from repro.common.errors import ConfigError
+from repro.controlplane.hierarchy import HierarchyPlan, Role
+
+
+class ChannelMechanism(str, Enum):
+    """The "channel" metadata: how two roles communicate."""
+
+    SHARED_MEMORY = "shm"
+    KERNEL = "kernel"
+
+
+@dataclass(frozen=True)
+class TagNode:
+    """A role instance in the graph."""
+
+    name: str
+    role: str  # "aggregator" or "client"
+    node: str = ""  # worker node, once placed
+
+
+@dataclass(frozen=True)
+class Channel:
+    """Directed communication declaration between two roles."""
+
+    src: str
+    dst: str
+    mechanism: ChannelMechanism
+    group_by: str = ""
+
+
+class TagGraph:
+    """Mutable TAG with validation and route extraction."""
+
+    def __init__(self) -> None:
+        self._g = nx.DiGraph()
+
+    # -- construction -------------------------------------------------------
+    def add_role(self, name: str, role: str, node: str = "") -> None:
+        if role not in ("aggregator", "client"):
+            raise ConfigError(f"role must be 'aggregator' or 'client', got {role!r}")
+        if name in self._g:
+            raise ConfigError(f"role {name!r} already in TAG")
+        self._g.add_node(name, role=role, node=node)
+
+    def add_channel(
+        self,
+        src: str,
+        dst: str,
+        mechanism: ChannelMechanism | None = None,
+        group_by: str = "",
+    ) -> None:
+        for endpoint in (src, dst):
+            if endpoint not in self._g:
+                raise ConfigError(f"channel endpoint {endpoint!r} not in TAG")
+        if mechanism is None:
+            src_node = self._g.nodes[src]["node"]
+            dst_node = self._g.nodes[dst]["node"]
+            same = src_node and src_node == dst_node
+            mechanism = ChannelMechanism.SHARED_MEMORY if same else ChannelMechanism.KERNEL
+        self._g.add_edge(src, dst, mechanism=mechanism, group_by=group_by)
+
+    @classmethod
+    def from_plan(cls, plan: HierarchyPlan) -> "TagGraph":
+        """Derive the TAG for one hierarchy plan: aggregator roles wired
+        child→parent, channels chosen by co-location, groupBy set to the
+        worker node (the affinity label the placement engine honours)."""
+        tag = cls()
+        for agg in plan.aggregators.values():
+            tag.add_role(agg.agg_id, "aggregator", node=agg.node)
+        for agg in plan.aggregators.values():
+            if agg.parent:
+                parent = plan.aggregators[agg.parent]
+                same = agg.node == parent.node
+                tag.add_channel(
+                    agg.agg_id,
+                    agg.parent,
+                    ChannelMechanism.SHARED_MEMORY if same else ChannelMechanism.KERNEL,
+                    group_by=agg.node if same else "",
+                )
+        return tag
+
+    # -- queries -------------------------------------------------------------
+    def roles(self, kind: str | None = None) -> list[str]:
+        if kind is None:
+            return list(self._g.nodes)
+        return [n for n, d in self._g.nodes(data=True) if d["role"] == kind]
+
+    def role_of(self, name: str) -> str:
+        return self._g.nodes[name]["role"]
+
+    def worker_node_of(self, name: str) -> str:
+        return self._g.nodes[name]["node"]
+
+    def channel(self, src: str, dst: str) -> Channel:
+        data = self._g.get_edge_data(src, dst)
+        if data is None:
+            raise ConfigError(f"no channel {src!r} -> {dst!r}")
+        return Channel(src, dst, data["mechanism"], data["group_by"])
+
+    def routes(self) -> dict[str, str]:
+        """src → dst map for every aggregator with one outgoing channel
+        (the DAG input the routing manager converts to sockmap entries)."""
+        out: dict[str, str] = {}
+        for src in self._g.nodes:
+            succs = list(self._g.successors(src))
+            if len(succs) == 1:
+                out[src] = succs[0]
+            elif len(succs) > 1:
+                raise ConfigError(f"{src!r} has multiple outgoing channels; not a tree")
+        return out
+
+    def affinity_groups(self) -> dict[str, list[str]]:
+        """groupBy label → roles sharing it (placement affinity, App. D)."""
+        groups: dict[str, list[str]] = {}
+        for src, dst, data in self._g.edges(data=True):
+            label = data["group_by"]
+            if not label:
+                continue
+            bucket = groups.setdefault(label, [])
+            for endpoint in (src, dst):
+                if endpoint not in bucket:
+                    bucket.append(endpoint)
+        return groups
+
+    def shared_memory_fraction(self) -> float:
+        """Fraction of channels served by shared memory — the quantity
+        locality-aware placement maximizes."""
+        edges = list(self._g.edges(data=True))
+        if not edges:
+            return 0.0
+        shm = sum(1 for *_, d in edges if d["mechanism"] is ChannelMechanism.SHARED_MEMORY)
+        return shm / len(edges)
+
+    def validate_single_rooted(self) -> str:
+        """Check the aggregator subgraph is a single-rooted in-tree; returns
+        the root's name."""
+        aggs = set(self.roles("aggregator"))
+        sub = self._g.subgraph(aggs)
+        roots = [n for n in sub.nodes if sub.out_degree(n) == 0]
+        if len(roots) != 1:
+            raise ConfigError(f"hierarchy must have exactly one root, found {roots}")
+        if not nx.is_directed_acyclic_graph(sub):
+            raise ConfigError("hierarchy contains a cycle")
+        root = roots[0]
+        for n in sub.nodes:
+            if n != root and not nx.has_path(sub, n, root):
+                raise ConfigError(f"{n!r} cannot reach the root {root!r}")
+        return root
+
+    def __len__(self) -> int:
+        return len(self._g)
+
+    def edge_count(self) -> int:
+        return self._g.number_of_edges()

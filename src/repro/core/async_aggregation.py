@@ -1,0 +1,150 @@
+"""Asynchronous FL aggregation (Fig. 11; the paper's stated future work).
+
+In asynchronous FL (PAPAYA-style, Fig. 11) there is no synchronous round
+barrier: up to ``concurrency`` clients train at once, each against whatever
+global version was current when it started, and the server publishes a new
+version every ``aggregation_goal`` accepted updates.  Stale updates —
+trained on an older version than the current one — are admitted but
+down-weighted.
+
+Both aggregation timings are supported, mirroring Fig. 11:
+
+* **eager** — every arriving update is folded into the running accumulator
+  immediately;
+* **lazy** — updates queue and the whole batch is folded when the goal is
+  reached.
+
+For a fixed arrival order the two produce identical model versions (the
+same cumulative-averaging property as the synchronous case); eager differs
+only in *when* compute happens, which is what the LIFL platform exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import ConfigError
+from repro.fl.fedavg import FedAvgAccumulator, ModelUpdate
+from repro.fl.model import Model
+
+
+def polynomial_staleness_weight(staleness: int, exponent: float = 0.5) -> float:
+    """FedBuff/PAPAYA-style polynomial staleness discount:
+    ``w = (1 + s)^(-exponent)``."""
+    if staleness < 0:
+        raise ConfigError(f"staleness must be non-negative, got {staleness}")
+    return float((1.0 + staleness) ** (-exponent))
+
+
+@dataclass
+class AsyncConfig:
+    """Asynchronous-aggregation policy knobs (Fig. 11's caption values:
+    concurrency 4, aggregation goal 2)."""
+
+    aggregation_goal: int
+    concurrency: int
+    eager: bool = True
+    staleness_exponent: float = 0.5
+    #: updates staler than this are dropped outright
+    max_staleness: int = 10
+
+    def __post_init__(self) -> None:
+        if self.aggregation_goal < 1:
+            raise ConfigError("aggregation_goal must be >= 1")
+        if self.concurrency < self.aggregation_goal:
+            raise ConfigError("concurrency must be >= aggregation_goal")
+        if self.max_staleness < 0:
+            raise ConfigError("max_staleness must be >= 0")
+
+
+@dataclass
+class AsyncVersionRecord:
+    """One published global version."""
+
+    version: int
+    model: Model
+    updates_used: int
+    mean_staleness: float
+
+
+class AsyncAggregator:
+    """Version-publishing asynchronous aggregator."""
+
+    def __init__(
+        self,
+        initial_model: Model,
+        config: AsyncConfig,
+        staleness_weight: Callable[[int], float] | None = None,
+    ) -> None:
+        self.config = config
+        self.current_version = 0
+        self.global_model = initial_model.copy()
+        self._weight_fn = staleness_weight or (
+            lambda s: polynomial_staleness_weight(s, config.staleness_exponent)
+        )
+        self._acc = FedAvgAccumulator()
+        self._pending: list[tuple[ModelUpdate, int]] = []
+        self._staleness_sum = 0.0
+        self._count = 0
+        self.history: list[AsyncVersionRecord] = []
+        self.dropped_stale = 0
+
+    # -- client side -------------------------------------------------------
+    def checkout(self) -> tuple[int, Model]:
+        """A client starting to train gets (version, model snapshot)."""
+        return self.current_version, self.global_model.copy()
+
+    # -- server side ----------------------------------------------------------
+    def submit(self, update: ModelUpdate, trained_on_version: int) -> AsyncVersionRecord | None:
+        """Accept one client update; returns the new version record when
+        this submission completes an aggregation goal, else None."""
+        staleness = self.current_version - trained_on_version
+        if staleness < 0:
+            raise ConfigError(
+                f"update trained on future version {trained_on_version} "
+                f"(current {self.current_version})"
+            )
+        if staleness > self.config.max_staleness:
+            self.dropped_stale += 1
+            return None
+        discounted = ModelUpdate(
+            model=update.model,
+            weight=update.weight * self._weight_fn(staleness),
+            producer=update.producer,
+            version=trained_on_version,
+        )
+        if self.config.eager:
+            self._fold(discounted, staleness)
+        else:
+            self._pending.append((discounted, staleness))
+            self._count += 1
+            self._staleness_sum += staleness
+        if self._count >= self.config.aggregation_goal:
+            return self._publish()
+        return None
+
+    def _fold(self, update: ModelUpdate, staleness: int) -> None:
+        self._acc.add(update)
+        self._count += 1
+        self._staleness_sum += staleness
+
+    def _publish(self) -> AsyncVersionRecord:
+        if not self.config.eager:
+            for update, _ in self._pending:
+                self._acc.add(update)
+            self._pending.clear()
+        aggregate = self._acc.result()
+        self.current_version += 1
+        self.global_model = aggregate.model.copy()
+        record = AsyncVersionRecord(
+            version=self.current_version,
+            model=self.global_model,
+            updates_used=self._count,
+            mean_staleness=self._staleness_sum / self._count,
+        )
+        self.history.append(record)
+        self._acc = FedAvgAccumulator()
+        self._count = 0
+        self._staleness_sum = 0.0
+        return record

@@ -1,0 +1,129 @@
+"""Round and workload result records — the quantities the paper plots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.eventlog import EventLog
+
+
+@dataclass
+class InstanceStats:
+    """Lifecycle of one aggregator instance during a round."""
+
+    agg_id: str
+    node: str
+    role: str
+    created_at: float = 0.0
+    ready_at: float = 0.0
+    finished_at: float = 0.0
+    cold_start: bool = False
+    reused: bool = False
+    updates_aggregated: int = 0
+
+    @property
+    def active_seconds(self) -> float:
+        return max(0.0, self.finished_at - self.created_at)
+
+
+@dataclass
+class RoundResult:
+    """Everything one aggregation round produced.
+
+    ``act`` is the Aggregation Completion Time (§5.2): from round start to
+    the top aggregator emitting the new global model.  ``completion_time``
+    additionally includes the evaluation task.
+    """
+
+    act: float
+    completion_time: float
+    #: CPU-seconds actually burned, by component (ledger buckets)
+    cpu_by_component: dict[str, float] = field(default_factory=dict)
+    #: CPU-seconds of reserved-but-idle allocation (sidecars, always-on
+    #: instances, brokers) — the serverful/serverless "tax"
+    cpu_reserved: float = 0.0
+    aggregators_created: int = 0
+    aggregators_reused: int = 0
+    nodes_used: int = 0
+    instances: list[InstanceStats] = field(default_factory=list)
+    timeline: EventLog = field(default_factory=EventLog)
+    updates_aggregated: int = 0
+    cross_node_transfers: int = 0
+
+    @property
+    def cpu_work(self) -> float:
+        return sum(self.cpu_by_component.values())
+
+    @property
+    def cpu_total(self) -> float:
+        """The paper's "cumulative CPU time" for the round: real work plus
+        reserved allocation."""
+        return self.cpu_work + self.cpu_reserved
+
+    def active_instance_count(self) -> int:
+        return len(self.instances)
+
+
+@dataclass
+class RoundSample:
+    """One round's row in the Fig. 9/10 time series."""
+
+    round_index: int
+    start_time: float
+    duration: float
+    act: float
+    cpu_total: float
+    accuracy: float
+    arrivals_per_minute: float
+    active_aggregators: int
+
+
+@dataclass
+class WorkloadResult:
+    """A full FL run: the Fig. 9 curves and Fig. 10 series."""
+
+    system: str
+    model: str
+    samples: list[RoundSample] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.samples)
+
+    def wall_clock_hours(self) -> float:
+        if not self.samples:
+            return 0.0
+        last = self.samples[-1]
+        return (last.start_time + last.duration) / 3600.0
+
+    def cpu_hours(self) -> float:
+        return sum(s.cpu_total for s in self.samples) / 3600.0
+
+    def time_to_accuracy(self, target: float) -> float | None:
+        """Wall-clock seconds until test accuracy first reaches ``target``."""
+        for s in self.samples:
+            if s.accuracy >= target:
+                return s.start_time + s.duration
+        return None
+
+    def cost_to_accuracy(self, target: float) -> float | None:
+        """Cumulative CPU-seconds until accuracy first reaches ``target``."""
+        total = 0.0
+        for s in self.samples:
+            total += s.cpu_total
+            if s.accuracy >= target:
+                return total
+        return None
+
+    def accuracy_series(self) -> list[tuple[float, float]]:
+        """(wall-clock seconds, accuracy) pairs — Fig. 9(a)/(c)."""
+        return [(s.start_time + s.duration, s.accuracy) for s in self.samples]
+
+    def cpu_series(self) -> list[tuple[float, float]]:
+        """(cumulative CPU-seconds, accuracy) pairs — Fig. 9(b)/(d)."""
+        out = []
+        total = 0.0
+        for s in self.samples:
+            total += s.cpu_total
+            out.append((total, s.accuracy))
+        return out

@@ -1,0 +1,486 @@
+"""The round engine: one aggregation round under any platform configuration.
+
+Given (a) a batch of model updates with arrival times and node assignments,
+(b) a hierarchy plan, and (c) a :class:`~repro.core.platform.PlatformConfig`
+describing the system's data plane and orchestration behaviour, the engine
+simulates the round on the discrete-event kernel and returns a
+:class:`~repro.core.results.RoundResult`.
+
+What is simulated (vs computed):
+
+* ingress serialization (per-node gateway with vertical scaling, or the
+  shared broker of SF/SL) — queueing emerges from resource contention;
+* aggregator step pipelines (Recv/Agg/Send) with eager or lazy timing;
+* intermediate-update transfers: intra-node via the configured pipeline's
+  latency; inter-node additionally through the fabric's processor-sharing
+  NIC links and the destination node's ingress resource;
+* cold starts, reactive-scaling ramp delays, warm reuse (role conversion);
+* CPU: every stage bills the hosting node's ledger; reserved-but-idle
+  allocations (always-on instances, sidecars, brokers, the gateway's
+  stateful tax) are added per the config's reservation rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.network import Fabric
+from repro.cluster.node import NodeSpec, WorkerNode
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.eventlog import EventLog
+from repro.controlplane.hierarchy import AggregatorSpec, HierarchyPlan, Role
+from repro.core.aggregator import AggregatorCosts, AggregatorInstance
+from repro.core.platform import IngressKind, PlatformConfig
+from repro.core.results import RoundResult
+from repro.core.updates import MailboxItem, SimUpdate
+from repro.dataplane.calibration import DEFAULT_CALIBRATION, DataplaneCalibration
+from repro.dataplane.gateway import VerticalScaler
+from repro.dataplane.pipelines import (
+    PipelineKind,
+    inter_node_pipeline,
+    intra_node_pipeline,
+)
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource
+
+
+@dataclass
+class WarmState:
+    """Cross-round warm-runtime pool: node → idle warm instance count."""
+
+    idle: dict[str, int] = field(default_factory=dict)
+
+    def take(self, node: str) -> bool:
+        n = self.idle.get(node, 0)
+        if n > 0:
+            self.idle[node] = n - 1
+            return True
+        return False
+
+    def put(self, node: str, count: int = 1) -> None:
+        self.idle[node] = self.idle.get(node, 0) + count
+
+    def total(self) -> int:
+        return sum(self.idle.values())
+
+
+@dataclass
+class _CostTable:
+    """Latency/CPU constants materialized for one update size."""
+
+    ingress_latency: float
+    ingress_cpu: float
+    recv_client_latency: float
+    recv_client_cpu: float
+    agg_latency: float
+    agg_cpu: float
+    intra_latency: float
+    intra_cpu: float
+    inter_tx_latency: float
+    inter_tx_cpu: float
+    inter_rx_latency: float
+    inter_rx_cpu: float
+
+
+class RoundEngine:
+    """Simulates aggregation rounds for one platform configuration."""
+
+    def __init__(
+        self,
+        config: PlatformConfig,
+        node_names: list[str],
+        cal: DataplaneCalibration = DEFAULT_CALIBRATION,
+        node_spec: NodeSpec | None = None,
+    ) -> None:
+        if not node_names:
+            raise ConfigError("round engine needs at least one node")
+        self.config = config
+        self.cal = cal
+        self.node_names = list(node_names)
+        self.node_spec = node_spec or NodeSpec(name="template")
+        self.warm = WarmState()
+
+    # ------------------------------------------------------------------ costs
+    def _costs_for(self, nbytes: float) -> _CostTable:
+        cal = self.cal
+        cfg = self.config
+        agg_lat = cal.agg_compute_lat_per_byte * nbytes
+        agg_cpu = cal.agg_compute_cpu_per_byte * nbytes
+        intra = intra_node_pipeline(cfg.pipeline, cal).cost(nbytes)
+        inter = inter_node_pipeline(cfg.pipeline, cal, include_wire=False).cost(nbytes)
+        # Split the inter-node pipeline at the wire: hops before it are
+        # tx-side, after it rx-side.  The split is symmetric enough that
+        # halving the latency/cpu by group keeps totals exact.
+        inter_tx_lat = inter.latency / 2
+        inter_rx_lat = inter.latency - inter_tx_lat
+        inter_tx_cpu = inter.cpu_seconds / 2
+        inter_rx_cpu = inter.cpu_seconds - inter_tx_cpu
+        if cfg.ingress is IngressKind.GATEWAY:
+            ingress_lat = (cal.gateway_rx_lat_per_byte + cal.shm_write_lat_per_byte) * nbytes
+            ingress_cpu = (cal.gateway_rx_cpu_per_byte + cal.shm_write_cpu_per_byte) * nbytes
+            recv_lat = cal.shm_read_lat_per_byte * nbytes + cal.skmsg_fixed_lat
+            recv_cpu = cal.shm_read_cpu_per_byte * nbytes + cal.skmsg_fixed_cpu
+        elif cfg.pipeline is PipelineKind.SERVERFUL:
+            ingress_lat = cal.queuing_sf_broker_lat_per_byte * nbytes + cal.broker_fixed_lat
+            ingress_cpu = cal.queuing_sf_broker_cpu_per_byte * nbytes + cal.broker_fixed_cpu
+            recv_lat = (
+                cal.kernel_wire_side_lat_per_byte
+                + cal.deserialize_lat_per_byte
+                + cal.grpc_lat_per_byte
+            ) * nbytes + cal.kernel_fixed_lat
+            recv_cpu = (
+                cal.kernel_wire_side_cpu_per_byte
+                + cal.deserialize_cpu_per_byte
+                + cal.grpc_cpu_per_byte
+            ) * nbytes + cal.kernel_fixed_cpu
+        else:  # serverless broker + container sidecar on the consumer side
+            ingress_lat = cal.queuing_broker_lat_per_byte * nbytes + cal.broker_fixed_lat
+            ingress_cpu = cal.queuing_broker_cpu_per_byte * nbytes + cal.broker_fixed_cpu
+            recv_lat = (
+                cal.kernel_wire_side_lat_per_byte
+                + cal.sidecar_lat_per_byte
+                + cal.deserialize_lat_per_byte
+            ) * nbytes + cal.sidecar_fixed_lat
+            recv_cpu = (
+                cal.kernel_wire_side_cpu_per_byte
+                + cal.sidecar_cpu_per_byte
+                + cal.deserialize_cpu_per_byte
+            ) * nbytes + cal.sidecar_fixed_cpu
+        return _CostTable(
+            ingress_latency=ingress_lat,
+            ingress_cpu=ingress_cpu,
+            recv_client_latency=recv_lat,
+            recv_client_cpu=recv_cpu,
+            agg_latency=agg_lat,
+            agg_cpu=agg_cpu,
+            intra_latency=intra.latency,
+            intra_cpu=intra.cpu_seconds,
+            inter_tx_latency=inter_tx_lat,
+            inter_tx_cpu=inter_tx_cpu,
+            inter_rx_latency=inter_rx_lat,
+            inter_rx_cpu=inter_rx_cpu,
+        )
+
+    # ------------------------------------------------------------------- round
+    def run_round(
+        self,
+        updates: list[SimUpdate],
+        plan: HierarchyPlan,
+        include_eval: bool = True,
+    ) -> RoundResult:
+        """Simulate one round; updates must already carry node assignments
+        consistent with ``plan`` (the platform does placement first)."""
+        if not updates:
+            raise ConfigError("round needs at least one update")
+        if not plan.aggregators:
+            raise ConfigError("round needs a non-empty hierarchy plan")
+        sizes = {u.nbytes for u in updates}
+        if len(sizes) != 1:
+            raise ConfigError("all updates in a round must share one model size")
+        nbytes = sizes.pop()
+        costs = self._costs_for(nbytes)
+        cfg = self.config
+
+        env = Environment()
+        timeline = EventLog()
+        nodes = {name: WorkerNode(env, NodeSpec(
+            name=name,
+            cores=self.node_spec.cores,
+            memory_bytes=self.node_spec.memory_bytes,
+            nic_bps=self.node_spec.nic_bps,
+            max_service_capacity=self.node_spec.max_service_capacity,
+        )) for name in self.node_names}
+        fabric = Fabric(env, self.node_spec.nic_bps)
+        for name in self.node_names:
+            fabric.register_node(name)
+
+        # -- ingress resources ---------------------------------------------
+        span = max(u.arrival_time for u in updates) - min(u.arrival_time for u in updates)
+        ingress_res: dict[str, Resource] = {}
+        if cfg.ingress is IngressKind.GATEWAY:
+            scaler = VerticalScaler(self.cal, max_cores=cfg.gateway_max_cores)
+            per_node_updates: dict[str, int] = {}
+            for u in updates:
+                per_node_updates[u.node] = per_node_updates.get(u.node, 0) + 1
+            for name in self.node_names:
+                n_up = per_node_updates.get(name, 0)
+                rate_bps = n_up * nbytes / max(span, 1.0)
+                cores = scaler.cores_for_load(rate_bps)
+                ingress_res[name] = Resource(env, capacity=cores)
+        else:
+            shared = Resource(env, capacity=cfg.broker_cores)
+            for name in self.node_names:
+                ingress_res[name] = shared
+
+        # -- instances --------------------------------------------------------
+        result = RoundResult(act=0.0, completion_time=0.0, timeline=timeline)
+        top_done = env.event()
+        instances: dict[str, AggregatorInstance] = {}
+        finished_on_node: dict[str, int] = {}
+
+        def make_charger(node: str):
+            def charge(component: str, cpu_seconds: float) -> None:
+                nodes[node].charge_cpu(cpu_seconds, component)
+
+            return charge
+
+        def record(actor: str, kind: str, start: float, end: float) -> None:
+            timeline.record(actor, kind, start, end)
+
+        def on_output(inst: AggregatorInstance, weight: float, now: float) -> None:
+            finished_on_node[inst.node] = finished_on_node.get(inst.node, 0) + 1
+            spec = plan.aggregators[inst.agg_id]
+            if spec.role is Role.TOP:
+                top_done.succeed(now)
+                return
+            env.process(
+                _transfer(inst, plan.aggregators[spec.parent], weight),
+                name=f"xfer:{inst.agg_id}",
+            )
+
+        def _transfer(child: AggregatorInstance, parent_spec: AggregatorSpec, weight: float):
+            parent = instances[parent_spec.agg_id]
+            src, dst = child.node, parent_spec.node
+            t0 = env.now
+            if src == dst:
+                yield env.timeout(costs.intra_latency)
+                nodes[src].charge_cpu(costs.intra_cpu, "dataplane")
+            else:
+                result.cross_node_transfers += 1
+                yield env.timeout(costs.inter_tx_latency)
+                nodes[src].charge_cpu(costs.inter_tx_cpu, "dataplane")
+                yield fabric.transfer(src, dst, nbytes, label=child.agg_id)
+                req = ingress_res[dst].request()
+                yield req
+                yield env.timeout(costs.inter_rx_latency)
+                ingress_res[dst].release(req)
+                nodes[dst].charge_cpu(costs.inter_rx_cpu, "dataplane")
+            timeline.record(child.agg_id, "network", t0, env.now)
+            _deliver(parent, MailboxItem(weight, child.agg_id, True, env.now))
+
+        def _deliver(inst: AggregatorInstance, item: MailboxItem) -> None:
+            if not cfg.prewarm:
+                _create(inst)
+            inst.deliver(item)
+
+        per_node_created: dict[str, int] = {}
+
+        def _create(inst: AggregatorInstance) -> None:
+            if inst._created:  # noqa: SLF001 - engine owns the instance
+                return
+            reused = cfg.reuse and self.warm.take(inst.node)
+            if not reused and cfg.reuse:
+                # In-round role conversion (§5.3): a finished local
+                # aggregator converts to this higher role with no restart.
+                if finished_on_node.get(inst.node, 0) > 0:
+                    finished_on_node[inst.node] -= 1
+                    reused = True
+            if not reused and cfg.ramp_delay > 0:
+                # Reactive autoscaler ramp: the k-th instance on a node is
+                # only admitted k ramp periods after round start (§2.3's
+                # reactive scaling; models Knative's stepwise scale-up).
+                k = per_node_created.get(inst.node, 0)
+                per_node_created[inst.node] = k + 1
+                delay = max(0.0, k * cfg.ramp_delay - env.now)
+                if delay > 0:
+
+                    def later(_: Event, inst=inst, reused=reused) -> None:
+                        inst.ensure_created(reused=reused)
+
+                    env.timeout(delay).callbacks.append(later)
+                    return
+            inst.ensure_created(reused=reused)
+
+        for agg_id, spec in plan.aggregators.items():
+            inst = AggregatorInstance(
+                env=env,
+                agg_id=agg_id,
+                node=spec.node,
+                role=spec.role.value,
+                fan_in=spec.fan_in,
+                costs=AggregatorCosts(
+                    recv_client_latency=costs.recv_client_latency,
+                    recv_client_cpu=costs.recv_client_cpu,
+                    agg_latency=costs.agg_latency,
+                    agg_cpu=costs.agg_cpu,
+                    startup_latency=cfg.cold_start_latency,
+                    startup_cpu=cfg.cold_start_cpu,
+                ),
+                eager=cfg.eager,
+                charge_cpu=make_charger(spec.node),
+                on_output=on_output,
+                record=record,
+            )
+            instances[agg_id] = inst
+
+        if cfg.prewarm:
+            for inst in instances.values():
+                _create(inst)
+
+        # -- update ingress processes -------------------------------------------
+        leaf_assignment = _assign_updates_to_leaves(
+            updates, plan, locality_aware=cfg.locality_aware
+        )
+
+        def _ingress(update: SimUpdate, leaf_id: str):
+            yield env.timeout(update.arrival_time)
+            res = ingress_res[update.node]
+            req = res.request()
+            yield req
+            t0 = env.now
+            yield env.timeout(costs.ingress_latency)
+            res.release(req)
+            nodes[update.node].charge_cpu(costs.ingress_cpu, "ingress")
+            timeline.record(f"{update.node}/gw", "network", t0, env.now)
+            leaf = instances[leaf_id]
+            if leaf.node != update.node:
+                # Locality-agnostic placement (§2.3): the update was queued
+                # on one node but its aggregator pod lives on another —
+                # one full inter-node hop before the leaf can consume it.
+                result.cross_node_transfers += 1
+                yield env.timeout(costs.inter_tx_latency)
+                nodes[update.node].charge_cpu(costs.inter_tx_cpu, "dataplane")
+                yield fabric.transfer(update.node, leaf.node, nbytes, label=f"u{update.uid}")
+                req2 = ingress_res[leaf.node].request()
+                yield req2
+                yield env.timeout(costs.inter_rx_latency)
+                ingress_res[leaf.node].release(req2)
+                nodes[leaf.node].charge_cpu(costs.inter_rx_cpu, "dataplane")
+                timeline.record(f"u{update.uid}", "network", t0, env.now)
+            _deliver(leaf, MailboxItem(update.weight, update.client_id, False, env.now))
+
+        for update in updates:
+            env.process(_ingress(update, leaf_assignment[update.uid]), name=f"in:{update.uid}")
+
+        # -- run -------------------------------------------------------------------
+        act_value = env.run(until=top_done)
+        result.act = float(act_value)
+        if include_eval:
+            top_node = plan.top.node
+            nodes[top_node].charge_cpu(self.cal.eval_task_cpu, "eval")
+            timeline.record(plan.top.agg_id, "eval", result.act, result.act + self.cal.eval_task_latency)
+            result.completion_time = result.act + self.cal.eval_task_latency
+        else:
+            result.completion_time = result.act
+        chain = len(updates) * (
+            cfg.chain_overhead_fixed_per_update + cfg.chain_overhead_per_byte * nbytes
+        )
+        if chain > 0:
+            # Serialized distribution/scale-up overhead (see PlatformConfig).
+            timeline.record("control", "network", result.completion_time, result.completion_time + chain)
+            nodes[plan.top.node].charge_cpu(chain * cfg.chain_overhead_cores, "chain")
+            result.completion_time += chain
+
+        # -- bookkeeping ---------------------------------------------------------------
+        result.updates_aggregated = len(updates)
+        result.nodes_used = len({u.node for u in updates})
+        for inst in instances.values():
+            if inst.stats.finished_at == 0.0:
+                inst.stats.finished_at = result.act
+            result.instances.append(inst.stats)
+        result.aggregators_created = sum(1 for i in result.instances if i.cold_start)
+        result.aggregators_reused = sum(1 for i in result.instances if i.reused)
+        for node in nodes.values():
+            for comp, secs in node.cpu.buckets.items():
+                result.cpu_by_component[comp] = result.cpu_by_component.get(comp, 0.0) + secs
+        result.cpu_reserved = self._reserved_cpu(result)
+
+        # -- warm pool turnover -----------------------------------------------------------
+        if cfg.reuse:
+            for node, _count in _instances_per_node(plan).items():
+                self.warm.put(node, _count)
+        return result
+
+    def _reserved_cpu(self, result: RoundResult) -> float:
+        cfg = self.config
+        duration = result.completion_time
+        reserved = 0.0
+        if cfg.fixed_instances > 0:
+            # SF: always-on allocation for the full round, idle or not.
+            reserved += cfg.fixed_instances * cfg.instance_reserved_cores * duration
+        else:
+            for inst in result.instances:
+                active = max(0.0, inst.finished_at - inst.created_at)
+                # Containers stay allocated until the autoscaler's stable
+                # window expires (Knative scale-down), not just while busy.
+                held = max(active, cfg.sidecar_linger)
+                reserved += cfg.instance_reserved_cores * held
+                reserved += cfg.sidecar_reserved_cores * held
+                if cfg.reuse and cfg.warm_idle_reserved_cores > 0:
+                    # Warm pooled pods keep their (small) allocation after
+                    # finishing, waiting for the next round's reuse (§5.3).
+                    reserved += cfg.warm_idle_reserved_cores * max(
+                        0.0, duration - inst.finished_at
+                    )
+        reserved += cfg.broker_reserved_cores * duration
+        if cfg.ingress is IngressKind.GATEWAY:
+            reserved += cfg.gateway_reserved_cores * duration * result.nodes_used
+        return reserved
+
+
+def _assign_updates_to_leaves(
+    updates: list[SimUpdate], plan: HierarchyPlan, locality_aware: bool = True
+) -> dict[int, str]:
+    """Map update uid → leaf aggregator.
+
+    Locality-aware platforms fill the leaves co-located with each update's
+    node, in arrival order so early leaves fill (and finish) first (§5.2).
+    Locality-agnostic ones fill leaves globally, ignoring where the update
+    was queued — the ingress path pays the resulting cross-node hops.
+    """
+    # Client updates flow into the tree's frontier: aggregators that are no
+    # one's parent.  In planned hierarchies that is exactly the leaf level;
+    # in a no-hierarchy (NH) plan it is the single top aggregator.
+    parents = {s.parent for s in plan.aggregators.values() if s.parent}
+    leaves = sorted(
+        (s for s in plan.aggregators.values() if s.agg_id not in parents),
+        key=lambda s: s.agg_id,
+    )
+    assignment: dict[int, str] = {}
+    ordered = sorted(updates, key=lambda u: (u.arrival_time, u.uid))
+    if not locality_aware:
+        slots_flat = [[spec, spec.fan_in] for spec in leaves]
+        for update in ordered:
+            for entry in slots_flat:
+                if entry[1] > 0:
+                    entry[1] -= 1
+                    assignment[update.uid] = entry[0].agg_id
+                    break
+            else:
+                raise SimulationError("more updates than total leaf capacity in plan")
+        return assignment
+    remaining: dict[str, list[list]] = {}
+    for spec in leaves:
+        remaining.setdefault(spec.node, []).append([spec, spec.fan_in])
+    for update in ordered:
+        slots = remaining.get(update.node)
+        if not slots:
+            raise SimulationError(
+                f"update {update.uid} assigned to node {update.node!r} with no leaves"
+            )
+        for entry in slots:
+            if entry[1] > 0:
+                entry[1] -= 1
+                assignment[update.uid] = entry[0].agg_id
+                break
+        else:
+            raise SimulationError(
+                f"node {update.node!r}: more updates than leaf capacity in plan"
+            )
+    return assignment
+
+
+def _instances_per_node(plan: HierarchyPlan) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for spec in plan.aggregators.values():
+        out[spec.node] = out.get(spec.node, 0) + 1
+    return out
+
+
+def required_leaf_capacity(plan: HierarchyPlan) -> dict[str, int]:
+    """Total client-update capacity of each node's leaves (plan checking)."""
+    out: dict[str, int] = {}
+    for spec in plan.aggregators.values():
+        if spec.role is Role.LEAF:
+            out[spec.node] = out.get(spec.node, 0) + spec.fan_in
+    return out

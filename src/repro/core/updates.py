@@ -1,0 +1,43 @@
+"""Model updates as the cluster-scale simulation sees them.
+
+At cluster scale only three things about an update matter to the platform:
+its wire size, its FedAvg weight, and where/when it enters the system.
+(The runtime package moves real tensors; the simulation moves these.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SimUpdate:
+    """One client model update entering the aggregation service."""
+
+    uid: int
+    nbytes: float
+    weight: float
+    arrival_time: float
+    node: str  # worker node the load balancer assigned it to
+    client_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ConfigError(f"update {self.uid}: nbytes must be positive")
+        if self.weight <= 0:
+            raise ConfigError(f"update {self.uid}: weight must be positive")
+        if self.arrival_time < 0:
+            raise ConfigError(f"update {self.uid}: negative arrival time")
+
+
+@dataclass(frozen=True)
+class MailboxItem:
+    """What lands in an aggregator's mailbox: either a client update (after
+    ingress processing) or an intermediate update from a child aggregator."""
+
+    weight: float
+    source: str  # client id or child aggregator id
+    is_intermediate: bool
+    enqueued_at: float

@@ -1,0 +1,42 @@
+"""Data-plane cost models.
+
+The paper's data-plane comparison (Figs. 5, 7, 13 and Appendix F) is about
+*pipelines built from hops*: every architecture moves a model update from a
+producer to a consumer through some sequence of processing stages, and each
+stage costs latency, CPU and buffered memory.  This subpackage models each
+stage explicitly:
+
+* :mod:`repro.dataplane.kernel` — kernel TCP/IP + gRPC hops,
+* :mod:`repro.dataplane.shm` — shared-memory write/read + SKMSG key passing,
+* :mod:`repro.dataplane.sidecar` — container-based vs eBPF-based sidecars,
+* :mod:`repro.dataplane.broker` — the message broker of serverless designs,
+* :mod:`repro.dataplane.gateway` — LIFL's per-node gateway (RX/TX pipeline,
+  vertical scaling),
+* :mod:`repro.dataplane.pipelines` — the composed SF / SL / LIFL paths and
+  the four message-queuing designs of Fig. 5,
+* :mod:`repro.dataplane.calibration` — every constant, in one frozen
+  dataclass, calibrated against the paper's reported numbers.
+"""
+
+from repro.dataplane.calibration import DEFAULT_CALIBRATION, DataplaneCalibration
+from repro.dataplane.pipelines import (
+    PipelineKind,
+    QueuingDesign,
+    intra_node_pipeline,
+    inter_node_pipeline,
+    queuing_pipeline,
+)
+from repro.dataplane.transfer import Hop, Pipeline, TransferResult
+
+__all__ = [
+    "DEFAULT_CALIBRATION",
+    "DataplaneCalibration",
+    "Hop",
+    "Pipeline",
+    "PipelineKind",
+    "QueuingDesign",
+    "TransferResult",
+    "inter_node_pipeline",
+    "intra_node_pipeline",
+    "queuing_pipeline",
+]

@@ -1,0 +1,84 @@
+"""LIFL's per-node gateway (§4.2, Appendix C).
+
+The gateway is the one stateful, persistent data-plane component per node.
+On RX it performs the consolidated, one-time payload processing (protocol
+processing, tensor→NumpyArray conversion) and writes the update into shared
+memory; on TX it does the reverse.  It scales *vertically* — the number of
+CPU cores assigned tracks the offered load so the gateway never becomes the
+data-plane bottleneck.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.dataplane.calibration import DataplaneCalibration
+from repro.dataplane.transfer import Hop, HopCost
+
+
+def gateway_rx_hop(cal: DataplaneCalibration, group: str = "base") -> Hop:
+    """RX payload processing before the shm write (gateway's one-time work)."""
+    return Hop(
+        "gateway-rx",
+        HopCost(
+            latency_per_byte=cal.gateway_rx_lat_per_byte,
+            cpu_per_byte=cal.gateway_rx_cpu_per_byte,
+        ),
+        component="gateway",
+        group=group,
+    )
+
+
+def gateway_tx_hop(cal: DataplaneCalibration, group: str = "base") -> Hop:
+    """TX payload processing after the shm read (reverse of RX)."""
+    return Hop(
+        "gateway-tx",
+        HopCost(
+            latency_per_byte=cal.gateway_tx_lat_per_byte,
+            cpu_per_byte=cal.gateway_tx_cpu_per_byte,
+        ),
+        component="gateway",
+        group=group,
+    )
+
+
+@dataclass
+class VerticalScaler:
+    """Core-count controller for one gateway.
+
+    The assigned core count is the smallest number of cores whose aggregate
+    service rate covers the observed arrival byte rate with ``headroom``
+    (>1) slack, clamped to ``[min_cores, max_cores]``.  This mirrors §4.2's
+    "dynamically adjusting the number of assigned CPU cores based on the
+    load level".
+    """
+
+    cal: DataplaneCalibration
+    min_cores: int = 1
+    max_cores: int = 8
+    headroom: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.min_cores < 1 or self.max_cores < self.min_cores:
+            raise ConfigError(
+                f"invalid core bounds [{self.min_cores}, {self.max_cores}]"
+            )
+        if self.headroom < 1.0:
+            raise ConfigError(f"headroom must be >= 1, got {self.headroom}")
+
+    def cores_for_load(self, arrival_bps: float) -> int:
+        """Cores needed for an offered load of ``arrival_bps`` bytes/s."""
+        if arrival_bps < 0:
+            raise ConfigError(f"negative arrival rate: {arrival_bps}")
+        needed = math.ceil(self.headroom * arrival_bps / self.cal.gateway_core_service_bps)
+        return int(min(self.max_cores, max(self.min_cores, needed)))
+
+    def service_rate(self, cores: int) -> float:
+        """Aggregate RX service rate (bytes/s) with ``cores`` assigned."""
+        return cores * self.cal.gateway_core_service_bps
+
+    def is_bottleneck(self, arrival_bps: float, cores: int) -> bool:
+        """True if the gateway cannot keep up at the current assignment."""
+        return arrival_bps > self.service_rate(cores)

@@ -1,0 +1,110 @@
+"""Kernel-networking hops (TCP/IP stack, gRPC framing, serialization).
+
+These are the stages every non-LIFL path pays: protocol processing, data
+copies across the user/kernel boundary, serialization and deserialization of
+tensor payloads (§4.1 lists the overheads shared memory eliminates).
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.calibration import DataplaneCalibration
+from repro.dataplane.transfer import Hop, HopCost
+
+
+def serialize_hop(cal: DataplaneCalibration, component: str = "dataplane", group: str = "base") -> Hop:
+    """Tensor → wire bytes at the producer."""
+    return Hop(
+        "serialize",
+        HopCost(
+            latency_per_byte=cal.serialize_lat_per_byte,
+            cpu_per_byte=cal.serialize_cpu_per_byte,
+            copies=1,
+        ),
+        component=component,
+        group=group,
+    )
+
+
+def deserialize_hop(cal: DataplaneCalibration, component: str = "dataplane", group: str = "base") -> Hop:
+    """Wire bytes → tensor at the consumer."""
+    return Hop(
+        "deserialize",
+        HopCost(
+            latency_per_byte=cal.deserialize_lat_per_byte,
+            cpu_per_byte=cal.deserialize_cpu_per_byte,
+            copies=0,
+        ),
+        component=component,
+        group=group,
+    )
+
+
+def grpc_hop(cal: DataplaneCalibration, component: str = "dataplane", group: str = "base") -> Hop:
+    """gRPC message framing/flow control on top of TCP."""
+    return Hop(
+        "grpc",
+        HopCost(latency_per_byte=cal.grpc_lat_per_byte, cpu_per_byte=cal.grpc_cpu_per_byte),
+        component=component,
+        group=group,
+    )
+
+
+def loopback_hop(cal: DataplaneCalibration, component: str = "kernel", group: str = "base") -> Hop:
+    """Full intra-node kernel TCP round: send() through the local stack to a
+    co-located receiver, including both boundary crossings and two copies."""
+    return Hop(
+        "kernel-loopback",
+        HopCost(
+            latency_fixed=cal.kernel_fixed_lat,
+            latency_per_byte=cal.kernel_loopback_lat_per_byte,
+            cpu_fixed=cal.kernel_fixed_cpu,
+            cpu_per_byte=cal.kernel_loopback_cpu_per_byte,
+            copies=1,
+        ),
+        component=component,
+        group=group,
+    )
+
+
+def wire_tx_hop(cal: DataplaneCalibration, component: str = "kernel", group: str = "base") -> Hop:
+    """Sender-side kernel processing of an inter-node transfer (the wire
+    itself is modelled by the fabric's processor-sharing link)."""
+    return Hop(
+        "kernel-wire-tx",
+        HopCost(
+            latency_fixed=cal.kernel_fixed_lat,
+            latency_per_byte=cal.kernel_wire_side_lat_per_byte,
+            cpu_fixed=cal.kernel_fixed_cpu,
+            cpu_per_byte=cal.kernel_wire_side_cpu_per_byte,
+            copies=1,
+        ),
+        component=component,
+        group=group,
+    )
+
+
+def wire_rx_hop(cal: DataplaneCalibration, component: str = "kernel", group: str = "base") -> Hop:
+    """Receiver-side kernel processing of an inter-node transfer."""
+    return Hop(
+        "kernel-wire-rx",
+        HopCost(
+            latency_fixed=cal.kernel_fixed_lat,
+            latency_per_byte=cal.kernel_wire_side_lat_per_byte,
+            cpu_fixed=cal.kernel_fixed_cpu,
+            cpu_per_byte=cal.kernel_wire_side_cpu_per_byte,
+            copies=1,
+        ),
+        component=component,
+        group=group,
+    )
+
+
+def wire_propagation_hop(cal: DataplaneCalibration, component: str = "wire", group: str = "base") -> Hop:
+    """Uncontended wire time (used by closed-form pipeline costs; simulation
+    paths use the fabric's processor-sharing link instead)."""
+    return Hop(
+        "wire",
+        HopCost(latency_per_byte=1.0 / cal.wire_bps),
+        component=component,
+        group=group,
+    )

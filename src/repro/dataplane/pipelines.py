@@ -1,0 +1,254 @@
+"""Composed data-plane pipelines for the three systems under test.
+
+Three families, matching the paper's three measurement settings:
+
+* **intra-node aggregator→aggregator** (Fig. 7(a)/(b)): how a leaf hands an
+  intermediate update to the top aggregator on the same node;
+* **inter-node aggregator→aggregator** (Fig. 8's cross-node transfers): the
+  same handoff across the wire, through each system's machinery;
+* **client→aggregator message queuing** (Fig. 5 / Fig. 13 / Appendix F):
+  how an update entering the node reaches the (possibly not-yet-started)
+  aggregator, under the four queuing designs.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.common.errors import ConfigError
+from repro.dataplane.broker import broker_hop, serverful_broker_hop
+from repro.dataplane.calibration import DEFAULT_CALIBRATION, DataplaneCalibration
+from repro.dataplane.gateway import gateway_rx_hop, gateway_tx_hop
+from repro.dataplane.kernel import (
+    deserialize_hop,
+    grpc_hop,
+    loopback_hop,
+    serialize_hop,
+    wire_propagation_hop,
+    wire_rx_hop,
+    wire_tx_hop,
+)
+from repro.dataplane.shm import shm_read_hop, shm_write_hop, skmsg_hop
+from repro.dataplane.sidecar import container_sidecar_hop, ebpf_sidecar_metrics_hop
+from repro.dataplane.transfer import Hop, HopCost, Pipeline
+
+
+class PipelineKind(str, Enum):
+    """The three systems compared throughout the evaluation."""
+
+    LIFL = "lifl"
+    SERVERFUL = "sf"
+    SERVERLESS = "sl"
+
+
+class QueuingDesign(str, Enum):
+    """The four message-queuing designs of Fig. 5."""
+
+    SF_MONO = "sf-mono"
+    SF_MICRO = "sf-micro"
+    SL_BASIC = "sl-b"
+    LIFL = "lifl"
+
+
+def intra_node_pipeline(
+    kind: PipelineKind, cal: DataplaneCalibration = DEFAULT_CALIBRATION
+) -> Pipeline:
+    """Aggregator→aggregator transfer on one node (Fig. 7 setting)."""
+    if kind is PipelineKind.LIFL:
+        return Pipeline(
+            "lifl-intra",
+            [
+                shm_write_hop(cal),
+                skmsg_hop(cal),
+                ebpf_sidecar_metrics_hop(cal),
+                shm_read_hop(cal),
+            ],
+        )
+    sf_base = [
+        serialize_hop(cal),
+        grpc_hop(cal),
+        loopback_hop(cal),
+        deserialize_hop(cal),
+    ]
+    if kind is PipelineKind.SERVERFUL:
+        return Pipeline("sf-intra", sf_base)
+    if kind is PipelineKind.SERVERLESS:
+        # Same base path, plus two container-sidecar traversals (+SC) and a
+        # broker round (+MB) — the stacked contributions in Fig. 7(a).
+        return Pipeline(
+            "sl-intra",
+            [
+                *sf_base,
+                container_sidecar_hop(cal, "out"),
+                broker_hop(cal),
+                container_sidecar_hop(cal, "in"),
+            ],
+        )
+    raise ConfigError(f"unknown pipeline kind: {kind!r}")
+
+
+def inter_node_pipeline(
+    kind: PipelineKind,
+    cal: DataplaneCalibration = DEFAULT_CALIBRATION,
+    include_wire: bool = True,
+) -> Pipeline:
+    """Aggregator→aggregator transfer across nodes.
+
+    With ``include_wire=False`` the uncontended wire hop is omitted — the
+    simulation paths put the bytes on the fabric's processor-sharing links
+    instead, so contention is modelled properly.
+    """
+    wire: list[Hop] = [wire_propagation_hop(cal)] if include_wire else []
+    if kind is PipelineKind.LIFL:
+        # source gateway reads from shm and serializes; remote gateway
+        # deserializes into its shm store and notifies via SKMSG (App. A).
+        return Pipeline(
+            "lifl-inter",
+            [
+                shm_read_hop(cal),
+                gateway_tx_hop(cal),
+                wire_tx_hop(cal),
+                *wire,
+                wire_rx_hop(cal),
+                gateway_rx_hop(cal),
+                shm_write_hop(cal),
+                skmsg_hop(cal),
+            ],
+        )
+    sf_hops = [
+        serialize_hop(cal),
+        grpc_hop(cal),
+        wire_tx_hop(cal),
+        *wire,
+        wire_rx_hop(cal),
+        deserialize_hop(cal),
+    ]
+    if kind is PipelineKind.SERVERFUL:
+        return Pipeline("sf-inter", sf_hops)
+    if kind is PipelineKind.SERVERLESS:
+        return Pipeline(
+            "sl-inter",
+            [
+                *sf_hops,
+                container_sidecar_hop(cal, "out"),
+                broker_hop(cal),
+                container_sidecar_hop(cal, "in"),
+            ],
+        )
+    raise ConfigError(f"unknown pipeline kind: {kind!r}")
+
+
+def _queue_resident(name: str, lat_pb: float, cpu_pb: float, component: str) -> Hop:
+    """A hop whose buffer holds the payload until consumption (counted as a
+    queuing copy for Fig. 13(b))."""
+    return Hop(
+        name,
+        HopCost(latency_per_byte=lat_pb, cpu_per_byte=cpu_pb, copies=1),
+        component=component,
+        group="queue",
+    )
+
+
+def queuing_pipeline(
+    design: QueuingDesign, cal: DataplaneCalibration = DEFAULT_CALIBRATION
+) -> Pipeline:
+    """Client→aggregator path under each Fig. 5 design (Fig. 13 metrics).
+
+    ``copies`` counts only queue-resident buffers (the quantity plotted as
+    normalized memory cost): 1 for SF-mono and LIFL, 2 for SF-micro
+    (broker + aggregator), 3 for SL-B (sidecar + broker + aggregator).
+    """
+    rx = Hop(
+        "kernel-wire-rx",
+        HopCost(
+            latency_fixed=cal.kernel_fixed_lat,
+            latency_per_byte=cal.kernel_wire_side_lat_per_byte,
+            cpu_fixed=cal.kernel_fixed_cpu,
+            cpu_per_byte=cal.kernel_wire_side_cpu_per_byte,
+            copies=0,  # transient socket buffer, not a queuing stage
+        ),
+        component="kernel",
+    )
+    if design is QueuingDesign.SF_MONO:
+        return Pipeline(
+            "queue-sf-mono",
+            [
+                rx,
+                deserialize_hop(cal),
+                _queue_resident(
+                    "monolith-enqueue",
+                    cal.monolith_enqueue_lat_per_byte,
+                    cal.monolith_enqueue_cpu_per_byte,
+                    component="aggregator",
+                ),
+            ],
+        )
+    if design is QueuingDesign.LIFL:
+        shm = Hop(
+            "shm-write",
+            HopCost(
+                latency_per_byte=cal.shm_write_lat_per_byte,
+                cpu_per_byte=cal.shm_write_cpu_per_byte,
+                copies=1,  # the single in-place queuing buffer
+            ),
+            component="shm",
+            group="queue",
+        )
+        return Pipeline("queue-lifl", [rx, gateway_rx_hop(cal), shm, skmsg_hop(cal)])
+    if design is QueuingDesign.SL_BASIC:
+        sidecar = Hop(
+            "sidecar-in",
+            HopCost(
+                latency_fixed=cal.sidecar_fixed_lat,
+                latency_per_byte=cal.sidecar_lat_per_byte,
+                cpu_fixed=cal.sidecar_fixed_cpu,
+                cpu_per_byte=cal.sidecar_cpu_per_byte,
+                copies=1,  # sidecar locally buffers the update (App. F)
+            ),
+            component="sidecar",
+            group="sidecar",
+        )
+        return Pipeline(
+            "queue-sl-b",
+            [
+                rx,
+                _queue_resident(
+                    "broker-queue",
+                    cal.queuing_broker_lat_per_byte,
+                    cal.queuing_broker_cpu_per_byte,
+                    component="broker",
+                ),
+                sidecar,
+                deserialize_hop(cal),
+                _aggregator_queue(cal),
+            ],
+        )
+    if design is QueuingDesign.SF_MICRO:
+        return Pipeline(
+            "queue-sf-micro",
+            [
+                rx,
+                _queue_resident(
+                    "sf-broker-queue",
+                    cal.queuing_sf_broker_lat_per_byte,
+                    cal.queuing_sf_broker_cpu_per_byte,
+                    component="broker",
+                ),
+                grpc_hop(cal),
+                deserialize_hop(cal),
+                _aggregator_queue(cal),
+            ],
+        )
+    raise ConfigError(f"unknown queuing design: {design!r}")
+
+
+def _aggregator_queue(cal: DataplaneCalibration) -> Hop:
+    """The consumer-side buffer where the stateless aggregator parks the
+    update until the Agg step dequeues it (zero marginal processing — the
+    deserialize hop already produced the tensor)."""
+    return Hop(
+        "aggregator-queue",
+        HopCost(copies=1),
+        component="aggregator",
+        group="queue",
+    )

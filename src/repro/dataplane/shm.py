@@ -1,0 +1,51 @@
+"""Shared-memory hops: the LIFL intra-node zero-copy channel (§4.1, App. A).
+
+A producer writes its payload into the immutable object store once; the
+16-byte object key travels through the eBPF sidecar's SKMSG hook; the
+consumer maps the object read-only.  Only the initial write moves bytes.
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.calibration import DataplaneCalibration
+from repro.dataplane.transfer import Hop, HopCost
+
+
+def shm_write_hop(cal: DataplaneCalibration, component: str = "shm", group: str = "base") -> Hop:
+    """Copy the payload into the shared-memory object store (one copy)."""
+    return Hop(
+        "shm-write",
+        HopCost(
+            latency_per_byte=cal.shm_write_lat_per_byte,
+            cpu_per_byte=cal.shm_write_cpu_per_byte,
+            copies=1,
+        ),
+        component=component,
+        group=group,
+    )
+
+
+def shm_read_hop(cal: DataplaneCalibration, component: str = "shm", group: str = "base") -> Hop:
+    """Map + wrap the object on the consumer side (no payload copy; the
+    per-byte term models NumPy view construction and first-touch faults)."""
+    return Hop(
+        "shm-read",
+        HopCost(
+            latency_per_byte=cal.shm_read_lat_per_byte,
+            cpu_per_byte=cal.shm_read_cpu_per_byte,
+            copies=0,
+        ),
+        component=component,
+        group=group,
+    )
+
+
+def skmsg_hop(cal: DataplaneCalibration, component: str = "ebpf", group: str = "base") -> Hop:
+    """Deliver the 16-byte object key via the SKMSG eBPF program; cost is
+    size-independent because only the key crosses the socket."""
+    return Hop(
+        "skmsg",
+        HopCost(latency_fixed=cal.skmsg_fixed_lat, cpu_fixed=cal.skmsg_fixed_cpu),
+        component=component,
+        group=group,
+    )

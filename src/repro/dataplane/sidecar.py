@@ -1,0 +1,46 @@
+"""Sidecar hops: container-based (SL baseline) vs eBPF-based (LIFL).
+
+The container sidecar intercepts and forwards every message through its own
+network stack — one full traversal on the way in and one on the way out
+(§2.3 "Heavyweight sidecar").  The eBPF sidecar replaces that with in-kernel
+event-driven programs whose cost is the fixed SKMSG overhead, consuming no
+CPU at idle (§4.3).
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.calibration import DataplaneCalibration
+from repro.dataplane.transfer import Hop, HopCost
+
+
+def container_sidecar_hop(cal: DataplaneCalibration, direction: str, group: str = "sidecar") -> Hop:
+    """One container-sidecar traversal (``direction`` is 'in' or 'out').
+
+    Tagged with ``group='sidecar'`` so Fig. 7(a)'s ``+SC`` share can be
+    reported from the pipeline breakdown.
+    """
+    if direction not in ("in", "out"):
+        raise ValueError(f"direction must be 'in' or 'out', got {direction!r}")
+    return Hop(
+        f"sidecar-{direction}",
+        HopCost(
+            latency_fixed=cal.sidecar_fixed_lat,
+            latency_per_byte=cal.sidecar_lat_per_byte,
+            cpu_fixed=cal.sidecar_fixed_cpu,
+            cpu_per_byte=cal.sidecar_cpu_per_byte,
+            copies=1 if direction == "in" else 0,
+        ),
+        component="sidecar",
+        group=group,
+    )
+
+
+def ebpf_sidecar_metrics_hop(cal: DataplaneCalibration) -> Hop:
+    """Metrics collection on a send() event — the only cost LIFL's sidecar
+    adds to the data path (it shares the SKMSG invocation)."""
+    return Hop(
+        "ebpf-metrics",
+        HopCost(latency_fixed=0.0, cpu_fixed=cal.skmsg_fixed_cpu / 2),
+        component="ebpf",
+        group="base",
+    )

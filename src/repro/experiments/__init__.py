@@ -1,0 +1,29 @@
+"""Experiment harness: one module per paper figure.
+
+Every module exposes ``run(...)`` returning structured rows and a
+``main()`` that prints the same rows/series the paper reports.  The
+benchmark suite calls ``run``; ``python -m repro.experiments.figXX`` prints
+a table.  DESIGN.md §3 maps each experiment to its figure.
+"""
+
+from repro.experiments import (  # noqa: F401
+    capacity,
+    fig04_hierarchy_dataplane,
+    fig07_dataplane,
+    fig08_orchestration,
+    fig09_fl_workloads,
+    fig10_timeseries,
+    fig13_queuing,
+    overhead,
+)
+
+__all__ = [
+    "capacity",
+    "fig04_hierarchy_dataplane",
+    "fig07_dataplane",
+    "fig08_orchestration",
+    "fig09_fl_workloads",
+    "fig10_timeseries",
+    "fig13_queuing",
+    "overhead",
+]

@@ -1,0 +1,55 @@
+"""Regenerate every paper table/figure in one run.
+
+Usage::
+
+    python -m repro.experiments            # all figures
+    python -m repro.experiments fig08      # just one (prefix match)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    capacity,
+    fig04_hierarchy_dataplane,
+    fig07_dataplane,
+    fig08_orchestration,
+    fig09_fl_workloads,
+    fig10_timeseries,
+    fig13_queuing,
+    overhead,
+)
+
+_ALL = [
+    ("fig04", fig04_hierarchy_dataplane),
+    ("fig07", fig07_dataplane),
+    ("fig08", fig08_orchestration),
+    ("fig09", fig09_fl_workloads),
+    ("fig10", fig10_timeseries),
+    ("fig13", fig13_queuing),
+    ("overhead", overhead),
+    ("capacity", capacity),
+]
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv[1:] if len(argv) > 1 else None
+    ran = 0
+    for name, module in _ALL:
+        if wanted and not any(name.startswith(w) or w.startswith(name) for w in wanted):
+            continue
+        print("=" * 72)
+        print(f"== {name}: {module.__doc__.strip().splitlines()[0]}")
+        print("=" * 72)
+        module.main()
+        print()
+        ran += 1
+    if ran == 0:
+        print(f"no experiment matches {wanted}; have {[n for n, _ in _ALL]}")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,79 @@
+"""Fig. 10 — time series of arrival rate, active aggregators, CPU/round.
+
+Reuses the Fig. 9 workload runs and extracts, per system:
+
+* (a)/(d) update arrival rate per minute — fluctuating for the mobile
+  ResNet-18 population, stable for the ResNet-152 servers;
+* (b)/(e) number of active aggregators over time — SF flat at its
+  always-on allocation; SL/LIFL load-proportional;
+* (c)/(f) cumulative CPU time per round — SL ≫ SF > LIFL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import WorkloadResult
+from repro.experiments.common import render_table
+from repro.experiments.fig09_fl_workloads import (
+    RESNET18_SETUP,
+    RESNET152_SETUP,
+    WorkloadSetup,
+    run as run_fig09,
+)
+
+
+@dataclass
+class SeriesPoint:
+    wall_hours: float
+    arrivals_per_minute: float
+    active_aggregators: int
+    cpu_per_round: float
+
+
+def extract_series(result: WorkloadResult) -> list[SeriesPoint]:
+    points = []
+    for s in result.samples:
+        points.append(
+            SeriesPoint(
+                wall_hours=(s.start_time + s.duration) / 3600.0,
+                arrivals_per_minute=s.arrivals_per_minute,
+                active_aggregators=s.active_aggregators,
+                cpu_per_round=s.cpu_total,
+            )
+        )
+    return points
+
+
+def run(setup: WorkloadSetup, seed: int = 5, max_rounds: int | None = None) -> dict[str, list[SeriesPoint]]:
+    results = run_fig09(setup, seed=seed, max_rounds=max_rounds)
+    return {name: extract_series(res) for name, res in results.items()}
+
+
+def summarize(series: dict[str, list[SeriesPoint]]) -> list[tuple]:
+    rows = []
+    for name, points in series.items():
+        if not points:
+            continue
+        mean_rate = sum(p.arrivals_per_minute for p in points) / len(points)
+        mean_active = sum(p.active_aggregators for p in points) / len(points)
+        mean_cpu = sum(p.cpu_per_round for p in points) / len(points)
+        rows.append((name, f"{mean_rate:.0f}", f"{mean_active:.0f}", f"{mean_cpu:.0f}"))
+    return rows
+
+
+def main() -> None:
+    for setup in (RESNET18_SETUP, RESNET152_SETUP):
+        series = run(setup, max_rounds=30)
+        print(f"Fig. 10 — {setup.tag} (first 30 rounds)")
+        print(
+            render_table(
+                ["system", "arrivals/min", "active aggs (mean)", "CPU/round (s)"],
+                summarize(series),
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

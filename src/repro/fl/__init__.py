@@ -1,0 +1,62 @@
+"""Federated-learning substrate.
+
+Everything the aggregation platform moves around and computes on:
+
+* :mod:`repro.fl.model` — model parameter containers and the paper's model
+  size specs (ResNet-18/34/152 wire sizes);
+* :mod:`repro.fl.fedavg` — FedAvg with *cumulative* weighted averaging (the
+  property that makes eager aggregation correct, §2.1/Fig. 1);
+* :mod:`repro.fl.algorithms` — server optimizers beyond FedAvg (FedAdagrad,
+  FedAdam, FedYogi from Reddi et al., cited in §7) and FedProx's client
+  proximal term;
+* :mod:`repro.fl.datasets` — synthetic non-IID federated datasets with
+  FedScale-like client heterogeneity;
+* :mod:`repro.fl.training` — a real NumPy MLP with SGD, used by clients that
+  actually train (small-model runs and all examples);
+* :mod:`repro.fl.client` — FL clients: local training + availability
+  behaviour (mobile hibernation vs always-on servers, §6.2);
+* :mod:`repro.fl.selector` — client selection and gateway mediation;
+* :mod:`repro.fl.convergence` — calibrated accuracy-vs-round curves for
+  ResNet-scale workloads (see DESIGN.md substitution table).
+"""
+
+from repro.fl.algorithms import (
+    FedAdagrad,
+    FedAdam,
+    FedAvgServer,
+    FedYogi,
+    ServerOptimizer,
+    make_server_optimizer,
+)
+from repro.fl.client import ClientConfig, FLClient
+from repro.fl.convergence import AccuracyCurve, curve_for
+from repro.fl.datasets import FederatedDataset, make_federated_dataset
+from repro.fl.fedavg import FedAvgAccumulator, ModelUpdate
+from repro.fl.model import Model, ModelSpec, model_spec
+from repro.fl.selector import Selector, SelectorConfig
+from repro.fl.training import MLP, LocalTrainer, TrainingConfig
+
+__all__ = [
+    "AccuracyCurve",
+    "ClientConfig",
+    "FLClient",
+    "FedAdagrad",
+    "FedAdam",
+    "FedAvgAccumulator",
+    "FedAvgServer",
+    "FedYogi",
+    "FederatedDataset",
+    "LocalTrainer",
+    "MLP",
+    "Model",
+    "ModelSpec",
+    "ModelUpdate",
+    "Selector",
+    "SelectorConfig",
+    "ServerOptimizer",
+    "TrainingConfig",
+    "curve_for",
+    "make_federated_dataset",
+    "make_server_optimizer",
+    "model_spec",
+]

@@ -1,0 +1,107 @@
+"""FedAvg with cumulative weighted averaging (§2.1).
+
+The paper's aggregation abstraction:
+
+    w_i = f({(w_i^k, A_i^k) | 1 ≤ k ≤ n}),   f = Σ w_i^k c_i^k / T_i,
+    T_i = Σ c_i^k,  A_i^k = c_i^k (sample counts).
+
+:class:`FedAvgAccumulator` computes this **cumulatively** — the running
+weighted sum is updated as each update arrives — which is exactly the
+property that makes *eager* aggregation produce the same result as lazy
+batch aggregation ("the eager method is feasible for FedAvg with cumulative
+averaging", §2.1).  The equivalence is covered by property-based tests.
+
+The same accumulator aggregates at every tree level: a leaf aggregates
+client updates and emits an intermediate update whose auxiliary weight is
+the *sum* of its inputs' weights, so middle/top aggregators compose
+correctly (hierarchical FedAvg is associative in this representation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.fl.model import Model
+
+
+@dataclass(frozen=True)
+class ModelUpdate:
+    """One (weights, auxiliary info) pair moving up the tree.
+
+    ``weight`` is c_i^k — the training sample count for a client update, or
+    the accumulated sample count for an intermediate update.
+    ``producer`` identifies the client or aggregator that produced it.
+    """
+
+    model: Model
+    weight: float
+    producer: str = ""
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigError(f"update weight must be positive, got {self.weight}")
+
+
+@dataclass
+class FedAvgAccumulator:
+    """Running weighted average over incoming updates."""
+
+    _sum: Model | None = None
+    _total_weight: float = 0.0
+    count: int = field(default=0)
+
+    def add(self, update: ModelUpdate) -> None:
+        """Fold one update in (the Agg step's core, Fig. 14)."""
+        if self._sum is None:
+            self._sum = update.model.scaled(update.weight)
+        else:
+            self._sum.add_scaled_(update.model, update.weight)
+        self._total_weight += update.weight
+        self.count += 1
+
+    @property
+    def total_weight(self) -> float:
+        return self._total_weight
+
+    @property
+    def is_empty(self) -> bool:
+        return self._sum is None
+
+    def result(self, producer: str = "", version: int = 0) -> ModelUpdate:
+        """The weighted average so far, as an update whose weight carries
+        the accumulated sample count (hierarchy-composable)."""
+        if self._sum is None:
+            raise ConfigError("result() on an empty accumulator")
+        avg = self._sum.scaled(1.0 / self._total_weight)
+        return ModelUpdate(
+            model=avg, weight=self._total_weight, producer=producer, version=version
+        )
+
+    def merge(self, other: "FedAvgAccumulator") -> None:
+        """Combine two partial accumulations (aggregator reuse path)."""
+        if other._sum is None:
+            return
+        if self._sum is None:
+            self._sum = other._sum.copy()
+        else:
+            self._sum.add_scaled_(other._sum, 1.0)
+        self._total_weight += other._total_weight
+        self.count += other.count
+
+    def reset(self) -> None:
+        self._sum = None
+        self._total_weight = 0.0
+        self.count = 0
+
+
+def federated_average(updates: list[ModelUpdate]) -> ModelUpdate:
+    """One-shot (lazy) FedAvg over a batch — the reference implementation
+    the eager accumulator is tested against."""
+    if not updates:
+        raise ConfigError("federated_average needs at least one update")
+    acc = FedAvgAccumulator()
+    for u in updates:
+        acc.add(u)
+    return acc.result()

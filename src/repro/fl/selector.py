@@ -1,0 +1,69 @@
+"""The selector (§2.2): client selection + gateway mediation.
+
+Two roles, per the paper: (1) choose a diverse set of participants so the
+round sees a representative data sample; (2) act as the gateway-facing
+mediator mapping selected clients to backend aggregators — in LIFL, to
+worker-node gateways, which is exactly the placement plan's client→node
+grouping (§5.1).
+
+Resilience: LIFL "enhances resilience by over-provisioning the number of
+clients" (§3) — the selector picks ``ceil(goal × over_provision)`` clients
+so that the aggregation goal is met even if some clients drop out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.fl.client import FLClient
+
+
+@dataclass(frozen=True)
+class SelectorConfig:
+    """Selection policy knobs."""
+
+    aggregation_goal: int
+    over_provision: float = 1.2
+    #: "diverse": weight selection by unique data size; "uniform": plain
+    diversity: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.aggregation_goal < 1:
+            raise ConfigError("aggregation_goal must be >= 1")
+        if self.over_provision < 1.0:
+            raise ConfigError("over_provision must be >= 1.0")
+        if self.diversity not in ("uniform", "diverse"):
+            raise ConfigError(f"unknown diversity policy {self.diversity!r}")
+
+
+class Selector:
+    """Round-wise client selection over the available population."""
+
+    def __init__(self, config: SelectorConfig) -> None:
+        self.config = config
+
+    def target_count(self) -> int:
+        """Clients to select, including the over-provisioning margin."""
+        return int(np.ceil(self.config.aggregation_goal * self.config.over_provision))
+
+    def select(self, available: list[FLClient], rng: np.random.Generator) -> list[FLClient]:
+        """Choose participants for one round.
+
+        Fewer available clients than the target is fine — FL proceeds with
+        what it has as long as the aggregation goal can eventually be met.
+        """
+        if not available:
+            raise ConfigError("no clients available for selection")
+        want = min(self.target_count(), len(available))
+        if self.config.diversity == "uniform":
+            idx = rng.choice(len(available), size=want, replace=False)
+            return [available[int(i)] for i in idx]
+        # "diverse": sample-size-proportional without replacement, favouring
+        # clients with more (hence likely more varied) local data.
+        weights = np.array([max(1, c.num_samples) for c in available], dtype=float)
+        probs = weights / weights.sum()
+        idx = rng.choice(len(available), size=want, replace=False, p=probs)
+        return [available[int(i)] for i in idx]

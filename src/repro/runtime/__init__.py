@@ -1,0 +1,44 @@
+"""The real (non-simulated) LIFL node runtime.
+
+This subpackage implements, in working Python, the mechanisms the paper
+builds on each worker node:
+
+* :mod:`repro.runtime.object_store` — the shared-memory object store
+  (§4.1): immutable objects addressed by random 16-byte keys, backed by
+  ``multiprocessing.shared_memory`` exactly as in the paper's own
+  implementation;
+* :mod:`repro.runtime.sockmap` — the eBPF ``sockmap`` analogue: a routing
+  table from aggregator IDs to registered endpoints (Appendix A, Fig. 12);
+* :mod:`repro.runtime.skmsg` — event-driven SKMSG delivery of object keys
+  between co-located aggregators, with metrics collection on every send;
+* :mod:`repro.runtime.metrics_map` — the eBPF metrics map the sidecar
+  writes and the LIFL agent periodically drains (§4.3);
+* :mod:`repro.runtime.gateway` — the per-node gateway: one-time payload
+  processing into shared memory (in-place message queuing, §4.2) and
+  inter-node routing (Appendix A);
+* :mod:`repro.runtime.checkpoint` — asynchronous model checkpointing to
+  external storage (Appendix B).
+
+These classes are used directly by the quickstart example and the runtime
+test suite; the cluster-scale experiments use the calibrated simulation
+models instead (see ``DESIGN.md`` §1 for the substitution argument).
+"""
+
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.gateway import Gateway, InterNodeRoute
+from repro.runtime.metrics_map import MetricsMap
+from repro.runtime.object_store import ObjectKey, SharedMemoryObjectStore, StoredObject
+from repro.runtime.skmsg import SkMsgRouter
+from repro.runtime.sockmap import SockMap
+
+__all__ = [
+    "CheckpointManager",
+    "Gateway",
+    "InterNodeRoute",
+    "MetricsMap",
+    "ObjectKey",
+    "SharedMemoryObjectStore",
+    "SkMsgRouter",
+    "SockMap",
+    "StoredObject",
+]

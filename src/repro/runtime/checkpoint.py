@@ -1,0 +1,97 @@
+"""Asynchronous model checkpointing (Appendix B).
+
+"The checkpointing occurs after the aggregator completes the aggregation of
+specified model updates, where the aggregator submits a request to the LIFL
+agent to perform model checkpoints asynchronously in the background.  This
+prevents checkpoint delays from being added to the aggregation completion
+time."
+
+:class:`CheckpointManager` runs a single writer thread; ``submit`` is
+non-blocking (the aggregation path never waits on storage I/O) and
+``flush`` lets tests and shutdown paths synchronize.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from pathlib import Path
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.common.errors import LiflError
+
+
+class CheckpointManager:
+    """Background checkpoint writer for global-model versions."""
+
+    def __init__(self, directory: str | Path, prefix: str = "model") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.prefix = prefix
+        self._queue: "queue.Queue[Optional[tuple[int, dict[str, np.ndarray]]]]" = queue.Queue()
+        self._errors: list[Exception] = []
+        self._written: list[int] = []
+        self._thread = threading.Thread(target=self._writer, name="lifl-checkpoint", daemon=True)
+        self._thread.start()
+        self._closed = False
+
+    def submit(self, version: int, params: Mapping[str, np.ndarray]) -> None:
+        """Queue a checkpoint of model ``version``; returns immediately."""
+        if self._closed:
+            raise LiflError("checkpoint manager is closed")
+        # Snapshot now so later in-place updates don't corrupt the checkpoint.
+        snapshot = {name: np.array(value, copy=True) for name, value in params.items()}
+        self._queue.put((int(version), snapshot))
+
+    def path_for(self, version: int) -> Path:
+        return self.directory / f"{self.prefix}-v{version:06d}.npz"
+
+    def load(self, version: int) -> dict[str, np.ndarray]:
+        """Read back a checkpoint (recovery path)."""
+        path = self.path_for(version)
+        if not path.exists():
+            raise LiflError(f"no checkpoint for version {version} at {path}")
+        with np.load(path) as data:
+            return {name: data[name] for name in data.files}
+
+    def versions_on_disk(self) -> list[int]:
+        out = []
+        for p in sorted(self.directory.glob(f"{self.prefix}-v*.npz")):
+            out.append(int(p.stem.split("-v")[-1]))
+        return out
+
+    def flush(self) -> None:
+        """Block until every submitted checkpoint hit the disk."""
+        self._queue.join()
+        if self._errors:
+            raise LiflError(f"checkpoint writer failed: {self._errors[0]!r}")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._thread.join(timeout=30)
+
+    def _writer(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            version, params = item
+            try:
+                np.savez(self.path_for(version), **params)
+                self._written.append(version)
+            except Exception as exc:  # noqa: BLE001 - surfaced via flush()
+                self._errors.append(exc)
+            finally:
+                self._queue.task_done()
+
+    def __enter__(self) -> "CheckpointManager":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

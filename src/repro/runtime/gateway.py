@@ -1,0 +1,130 @@
+"""Per-node gateway: in-place message queuing and inter-node routing.
+
+From §4.2 and Appendices A/C:
+
+* On **RX**, the gateway does the consolidated one-time payload processing —
+  protocol handling and conversion of the wire payload into a NumPy array —
+  then writes the update **directly into shared memory** and notifies the
+  destination aggregator with the object key via SKMSG.  That *is* the
+  message queue: updates wait in the object store, keys wait in the
+  aggregator's mailbox.
+* On **TX** (inter-node), the gateway retrieves the object by key, performs
+  the reverse payload transformation, looks up the inter-node routing table
+  (destination aggregator ID → remote node's gateway) and ships the payload
+  to the remote gateway, which stores it locally and SKMSG-notifies the
+  destination.
+
+The gateway is also a sockmap endpoint: when the local SKMSG router resolves
+a destination aggregator to "the gateway's socket" (remote aggregator), the
+delivered key re-enters here and goes out through :meth:`deliver`.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import RoutingError
+from repro.runtime.object_store import SharedMemoryObjectStore
+from repro.runtime.skmsg import SkMsgRouter
+
+_HEADER = struct.Struct("!16sB")  # dtype string (padded), ndim
+
+
+def encode_update(array: np.ndarray) -> bytes:
+    """Serialize a model update for the wire (dtype/shape header + raw)."""
+    arr = np.ascontiguousarray(array)
+    dtype_name = arr.dtype.str.encode("ascii")
+    if len(dtype_name) > 16:
+        raise ValueError(f"dtype string too long: {dtype_name!r}")
+    header = _HEADER.pack(dtype_name.ljust(16, b" "), arr.ndim)
+    dims = struct.pack(f"!{arr.ndim}q", *arr.shape)
+    return header + dims + arr.tobytes()
+
+
+def decode_update(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_update`."""
+    dtype_raw, ndim = _HEADER.unpack_from(payload, 0)
+    offset = _HEADER.size
+    shape = struct.unpack_from(f"!{ndim}q", payload, offset)
+    offset += 8 * ndim
+    dtype = np.dtype(dtype_raw.decode("ascii").strip())
+    arr: np.ndarray = np.frombuffer(payload, dtype=dtype, offset=offset).reshape(shape)
+    return arr
+
+
+@dataclass(frozen=True)
+class InterNodeRoute:
+    """One entry in the gateway's inter-node routing table (App. A)."""
+
+    dst_agg_id: str
+    remote_node: str
+    remote_gateway: "Gateway"
+
+
+class Gateway:
+    """The stateful, persistent data-plane component on one node (§4.2)."""
+
+    def __init__(self, node: str, store: SharedMemoryObjectStore, router: SkMsgRouter) -> None:
+        self.node = node
+        self.store = store
+        self.router = router
+        self._inter_node: dict[str, InterNodeRoute] = {}
+        self._lock = threading.Lock()
+        self.rx_updates = 0
+        self.rx_bytes = 0
+        self.tx_updates = 0
+        self.tx_bytes = 0
+
+    # -- control plane: routing table management ---------------------------
+    def add_inter_node_route(self, dst_agg_id: str, remote_node: str, remote_gateway: "Gateway") -> None:
+        with self._lock:
+            self._inter_node[dst_agg_id] = InterNodeRoute(dst_agg_id, remote_node, remote_gateway)
+
+    def remove_inter_node_route(self, dst_agg_id: str) -> None:
+        with self._lock:
+            if dst_agg_id not in self._inter_node:
+                raise RoutingError(f"gateway {self.node}: no inter-node route for {dst_agg_id!r}")
+            del self._inter_node[dst_agg_id]
+
+    def inter_node_route(self, dst_agg_id: str) -> Optional[InterNodeRoute]:
+        with self._lock:
+            return self._inter_node.get(dst_agg_id)
+
+    # -- RX path (clients or remote gateways → shared memory) ---------------
+    def receive(self, payload: bytes, dst_agg_id: str, src_id: str = "client", consumers: int = 1) -> str:
+        """Wire payload in → shm object + SKMSG notification. Returns key."""
+        update = decode_update(payload)
+        key = self.store.put(update, consumers=consumers)
+        self.rx_updates += 1
+        self.rx_bytes += len(payload)
+        self.router.send_to(src_id, key, dst_agg_id)
+        return key
+
+    # -- TX path (local shm object → remote node) ----------------------------
+    def transmit(self, src_id: str, key: str, dst_agg_id: str) -> None:
+        """Ship the object behind ``key`` to the node hosting ``dst_agg_id``.
+
+        Releases the local reference after the payload is re-materialized on
+        the remote side (the local copy's job is done).
+        """
+        route = self.inter_node_route(dst_agg_id)
+        if route is None:
+            raise RoutingError(
+                f"gateway {self.node}: no inter-node route for destination {dst_agg_id!r}"
+            )
+        update = self.store.get(key)
+        payload = encode_update(update)
+        self.tx_updates += 1
+        self.tx_bytes += len(payload)
+        route.remote_gateway.receive(payload, dst_agg_id, src_id=src_id)
+        self.store.release(key)
+
+    # -- sockmap endpoint: local SKMSG picked us as the destination socket --
+    def deliver(self, src_id: str, key: str, dst_id: str) -> None:
+        """A locally-sent key whose destination lives on another node."""
+        self.transmit(src_id, key, dst_id)

@@ -1,0 +1,86 @@
+"""The eBPF metrics map (§4.3).
+
+An "in-kernel, configurable key-value table that can be accessed by the eBPF
+program during execution".  The sidecar stores per-aggregator metrics here on
+every send() event; the LIFL agent periodically drains it and feeds the
+metrics server.  We keep the same split: writers are cheap and local, readers
+batch-drain.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AggregatorMetrics:
+    """Metrics the sidecar collects for one aggregator (§4.3, App. E):
+    arrival counts (→ k_i,t) and execution times of aggregation tasks
+    (→ E_i,t)."""
+
+    sends: int = 0
+    bytes_sent: int = 0
+    updates_aggregated: int = 0
+    exec_time_total: float = 0.0
+    exec_time_count: int = 0
+    exec_time_last: float = 0.0
+
+    def record_exec(self, seconds: float) -> None:
+        self.exec_time_total += seconds
+        self.exec_time_count += 1
+        self.exec_time_last = seconds
+
+    @property
+    def exec_time_mean(self) -> float:
+        """Average execution time E of the aggregation task."""
+        if self.exec_time_count == 0:
+            return 0.0
+        return self.exec_time_total / self.exec_time_count
+
+
+class MetricsMap:
+    """Thread-safe key-value map of aggregator ID → metrics."""
+
+    def __init__(self, node: str = "node0") -> None:
+        self.node = node
+        self._metrics: dict[str, AggregatorMetrics] = {}
+        self._lock = threading.Lock()
+
+    def on_send(self, agg_id: str, nbytes: int) -> None:
+        """Hook invoked by the SKMSG program on every send() event."""
+        with self._lock:
+            m = self._metrics.setdefault(agg_id, AggregatorMetrics())
+            m.sends += 1
+            m.bytes_sent += nbytes
+
+    def on_aggregate(self, agg_id: str, exec_seconds: float) -> None:
+        """Record completion of one aggregation step."""
+        with self._lock:
+            m = self._metrics.setdefault(agg_id, AggregatorMetrics())
+            m.updates_aggregated += 1
+            m.record_exec(exec_seconds)
+
+    def snapshot(self, agg_id: str) -> AggregatorMetrics:
+        """Copy of one aggregator's metrics (empty metrics if unseen)."""
+        with self._lock:
+            m = self._metrics.get(agg_id, AggregatorMetrics())
+            return AggregatorMetrics(
+                sends=m.sends,
+                bytes_sent=m.bytes_sent,
+                updates_aggregated=m.updates_aggregated,
+                exec_time_total=m.exec_time_total,
+                exec_time_count=m.exec_time_count,
+                exec_time_last=m.exec_time_last,
+            )
+
+    def drain(self) -> dict[str, AggregatorMetrics]:
+        """Remove and return everything — the agent's periodic retrieval."""
+        with self._lock:
+            out = self._metrics
+            self._metrics = {}
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)

@@ -1,0 +1,188 @@
+"""Shared-memory object store (§4.1 "Shared memory object store").
+
+Semantics from the paper:
+
+* objects are **immutable** (read-only) once written, "to guarantee the safe
+  sharing of model updates, eliminating the need for locks";
+* each object is addressed by a **16-byte key randomly generated** by the
+  shared-memory manager;
+* the LIFL agent is responsible for **allocation / recycling / destruction**
+  of buffers.
+
+The store holds NumPy arrays in ``multiprocessing.shared_memory`` blocks, so
+a consumer in another process can map the same physical pages zero-copy.
+Reference counting implements recycling: producers put with an initial
+refcount equal to the number of expected consumers; each consumer releases
+after reading, and the block is freed at zero.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import ObjectStoreError
+
+#: Object keys are 16 random bytes, rendered as 32 hex chars for dict use.
+ObjectKey = str
+
+KEY_BYTES = 16
+
+
+def generate_key() -> ObjectKey:
+    """A fresh random 16-byte key, hex-encoded."""
+    return secrets.token_hex(KEY_BYTES)
+
+
+@dataclass
+class StoredObject:
+    """Bookkeeping for one shared-memory object."""
+
+    key: ObjectKey
+    shm: shared_memory.SharedMemory
+    dtype: np.dtype
+    shape: tuple[int, ...]
+    nbytes: int
+    refcount: int
+
+    def view(self) -> np.ndarray:
+        """Zero-copy, read-only view of the object's payload."""
+        arr: np.ndarray = np.ndarray(self.shape, dtype=self.dtype, buffer=self.shm.buf)
+        arr.flags.writeable = False
+        return arr
+
+
+class SharedMemoryObjectStore:
+    """Per-node immutable object store over ``multiprocessing.shared_memory``.
+
+    Thread-safe: the gateway thread and aggregator threads of the in-process
+    runtime share one store.  ``capacity_bytes`` bounds total residency; the
+    paper's agent recycles aggressively, so hitting the bound is a
+    programming error surfaced as :class:`ObjectStoreError`.
+    """
+
+    def __init__(self, capacity_bytes: float = float("inf"), node: str = "node0") -> None:
+        self.node = node
+        self.capacity_bytes = capacity_bytes
+        self._objects: dict[ObjectKey, StoredObject] = {}
+        self._lock = threading.Lock()
+        self._bytes_in_use = 0
+        self.high_water_bytes = 0
+        self.total_puts = 0
+        self.total_frees = 0
+
+    # -- producer side ------------------------------------------------------
+    def put(self, array: np.ndarray, consumers: int = 1) -> ObjectKey:
+        """Copy ``array`` into shared memory; returns its key.
+
+        ``consumers`` sets the initial refcount — the number of ``release``
+        calls after which the buffer is recycled.
+        """
+        if consumers < 1:
+            raise ObjectStoreError(f"consumers must be >= 1, got {consumers}")
+        arr = np.ascontiguousarray(array)
+        nbytes = int(arr.nbytes)
+        with self._lock:
+            if self._bytes_in_use + nbytes > self.capacity_bytes:
+                raise ObjectStoreError(
+                    f"object store on {self.node} full: "
+                    f"{self._bytes_in_use} + {nbytes} > {self.capacity_bytes}"
+                )
+            key = generate_key()
+            while key in self._objects:  # astronomically unlikely; be safe
+                key = generate_key()
+            shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+            dst: np.ndarray = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            dst[...] = arr
+            self._objects[key] = StoredObject(
+                key=key,
+                shm=shm,
+                dtype=arr.dtype,
+                shape=tuple(arr.shape),
+                nbytes=nbytes,
+                refcount=consumers,
+            )
+            self._bytes_in_use += nbytes
+            self.high_water_bytes = max(self.high_water_bytes, self._bytes_in_use)
+            self.total_puts += 1
+            return key
+
+    # -- consumer side ------------------------------------------------------
+    def get(self, key: ObjectKey) -> np.ndarray:
+        """Zero-copy read-only view of the object. Raises on unknown key."""
+        with self._lock:
+            obj = self._objects.get(key)
+            if obj is None:
+                raise ObjectStoreError(f"unknown object key {key!r} on {self.node}")
+            return obj.view()
+
+    def release(self, key: ObjectKey) -> bool:
+        """Drop one reference; frees the block at zero. Returns True if freed."""
+        with self._lock:
+            obj = self._objects.get(key)
+            if obj is None:
+                raise ObjectStoreError(f"release of unknown key {key!r} on {self.node}")
+            obj.refcount -= 1
+            if obj.refcount > 0:
+                return False
+            self._free_locked(obj)
+            return True
+
+    def add_consumers(self, key: ObjectKey, extra: int) -> None:
+        """Extend an object's refcount (fan-out discovered after put)."""
+        if extra < 0:
+            raise ObjectStoreError("extra consumers must be non-negative")
+        with self._lock:
+            obj = self._objects.get(key)
+            if obj is None:
+                raise ObjectStoreError(f"unknown key {key!r} on {self.node}")
+            obj.refcount += extra
+
+    # -- management (the LIFL agent's responsibilities) ----------------------
+    def contains(self, key: ObjectKey) -> bool:
+        with self._lock:
+            return key in self._objects
+
+    def size_of(self, key: ObjectKey) -> int:
+        with self._lock:
+            obj = self._objects.get(key)
+            if obj is None:
+                raise ObjectStoreError(f"unknown key {key!r} on {self.node}")
+            return obj.nbytes
+
+    @property
+    def bytes_in_use(self) -> int:
+        with self._lock:
+            return self._bytes_in_use
+
+    @property
+    def object_count(self) -> int:
+        with self._lock:
+            return len(self._objects)
+
+    def destroy(self) -> None:
+        """Free every object (node teardown)."""
+        with self._lock:
+            for obj in list(self._objects.values()):
+                self._free_locked(obj)
+
+    def _free_locked(self, obj: StoredObject) -> None:
+        del self._objects[obj.key]
+        self._bytes_in_use -= obj.nbytes
+        self.total_frees += 1
+        obj.shm.close()
+        try:
+            obj.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - platform quirk
+            pass
+
+    def __enter__(self) -> "SharedMemoryObjectStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.destroy()

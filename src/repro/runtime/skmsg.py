@@ -1,0 +1,84 @@
+"""SKMSG-style event-driven delivery of object keys (§4.3–4.4, App. A).
+
+The real mechanism: a producer aggregator calls ``send()`` with a 16-byte
+object key; the in-kernel SKMSG program fires on that syscall, "uses the ID
+of the source aggregator as the key" to decide where the message goes, and
+redirects the key through the sockmap to the destination's socket — the
+payload never moves, it stays in shared memory.
+
+:class:`SkMsgRouter` reproduces that flow in-process:
+
+* ``send(src_id, key)`` is the syscall; the router body is the eBPF program
+  (strictly event-driven — it runs only inside ``send`` and consumes nothing
+  at idle);
+* the **route table** (source → destination aggregator, i.e. the tree's
+  parent map derived from the TAG) is the stateful part offloaded to eBPF;
+* the :class:`~repro.runtime.sockmap.SockMap` resolves the destination ID to
+  a deliverable endpoint (local aggregator, or the gateway for remote ones);
+* metrics collection piggybacks on the same send event, as in §4.3.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common.errors import RoutingError
+from repro.runtime.metrics_map import MetricsMap
+from repro.runtime.object_store import SharedMemoryObjectStore
+from repro.runtime.sockmap import SockMap
+
+
+class SkMsgRouter:
+    """Event-driven object-key router for one node."""
+
+    def __init__(
+        self,
+        sockmap: SockMap,
+        metrics: MetricsMap,
+        store: SharedMemoryObjectStore,
+    ) -> None:
+        self.sockmap = sockmap
+        self.metrics = metrics
+        self.store = store
+        self._routes: dict[str, str] = {}
+        self._lock = threading.Lock()
+        self.deliveries = 0
+
+    # -- route management (driven by the LIFL agent on hierarchy updates) --
+    def set_route(self, src_id: str, dst_id: str) -> None:
+        """Messages from ``src_id`` go to ``dst_id`` (its tree parent)."""
+        with self._lock:
+            self._routes[src_id] = dst_id
+
+    def delete_route(self, src_id: str) -> None:
+        with self._lock:
+            if src_id not in self._routes:
+                raise RoutingError(f"no route to delete for source {src_id!r}")
+            del self._routes[src_id]
+
+    def route_of(self, src_id: str) -> str:
+        with self._lock:
+            dst = self._routes.get(src_id)
+        if dst is None:
+            raise RoutingError(f"no route installed for source {src_id!r}")
+        return dst
+
+    # -- the data path -------------------------------------------------------
+    def send(self, src_id: str, key: str) -> str:
+        """Producer's send(): route by source ID, deliver the key.
+
+        Returns the destination aggregator ID the key was delivered to.
+        Raises :class:`RoutingError` when no route or socket exists.
+        """
+        dst_id = self.route_of(src_id)
+        self.send_to(src_id, key, dst_id)
+        return dst_id
+
+    def send_to(self, src_id: str, key: str, dst_id: str) -> None:
+        """Deliver to an explicit destination (used by the gateway when the
+        destination ID arrives in an inter-node message header)."""
+        endpoint = self.sockmap.lookup(dst_id)  # may raise RoutingError
+        nbytes = self.store.size_of(key) if self.store.contains(key) else 0
+        self.metrics.on_send(src_id, nbytes)
+        self.deliveries += 1
+        endpoint.deliver(src_id, key, dst_id)

@@ -1,0 +1,72 @@
+"""The eBPF ``sockmap`` analogue (Appendix A, Fig. 12).
+
+In the kernel, ``BPF_MAP_TYPE_SOCKMAP`` "maintains references to the
+registered socket interfaces".  Following Fig. 12, entries are keyed by
+**aggregator ID** and map to the local socket that can reach that
+aggregator: its own socket when it runs on this node, or the gateway's
+socket when it is remote (e.g. node 1 holds ``a3's id -> gw's sock fd``).
+
+Here a "socket" is any endpoint with a ``deliver(src_id, key, dst_id)``
+method — an aggregator mailbox or the gateway.  The LIFL agent updates
+entries with :meth:`update` / :meth:`delete`, mirroring the userspace
+``bpf_map_update_elem()`` helper used for online hierarchy updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Protocol
+
+from repro.common.errors import RoutingError
+
+
+class Endpoint(Protocol):
+    """Anything a sockmap entry can redirect to."""
+
+    def deliver(self, src_id: str, key: str, dst_id: str) -> None:
+        """Accept an object key sent by ``src_id`` for aggregator ``dst_id``."""
+
+
+class SockMap:
+    """Aggregator ID → endpoint table with update/lookup/delete."""
+
+    def __init__(self, node: str = "node0") -> None:
+        self.node = node
+        self._entries: dict[str, Endpoint] = {}
+        self._lock = threading.Lock()
+        self.update_count = 0
+
+    def update(self, agg_id: str, endpoint: Endpoint) -> None:
+        """Insert or replace the socket reference for ``agg_id``."""
+        with self._lock:
+            self._entries[agg_id] = endpoint
+            self.update_count += 1
+
+    def lookup(self, agg_id: str) -> Endpoint:
+        with self._lock:
+            ep = self._entries.get(agg_id)
+        if ep is None:
+            raise RoutingError(f"sockmap on {self.node}: no socket for {agg_id!r}")
+        return ep
+
+    def delete(self, agg_id: str) -> None:
+        with self._lock:
+            if agg_id not in self._entries:
+                raise RoutingError(f"sockmap on {self.node}: delete of absent {agg_id!r}")
+            del self._entries[agg_id]
+
+    def __contains__(self, agg_id: str) -> bool:
+        with self._lock:
+            return agg_id in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._entries))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel.
+
+A small, SimPy-style engine: processes are Python generators that ``yield``
+events (timeouts, resource requests, other processes), and the
+:class:`Environment` advances a virtual clock through a priority queue of
+scheduled events.  The cluster, dataplane and control-plane models in the
+rest of the library are ordinary Python code running as processes on this
+kernel, so the control-plane *algorithms* under test are real implementations
+— only time and hardware are simulated.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "Resource",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,345 @@
+"""Core of the discrete-event engine: events, processes, the environment.
+
+Design notes
+------------
+The engine is deliberately minimal but complete for our workloads:
+
+* **Events** carry callbacks and a value; they are *triggered* (scheduled)
+  then *processed* (callbacks run) at their scheduled time.
+* **Processes** wrap generators.  A process waits on whatever event it
+  yields; when that event fires, the event's value is sent back into the
+  generator.  Raising :class:`Interrupt` into a process models preemption
+  (used for aggregator termination during hierarchy re-planning).
+* **Determinism**: ties in time are broken by insertion order, so repeated
+  runs with the same seed produce identical traces — required for the
+  experiment harness to be reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.common.errors import SimulationError
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A happening-at-a-point-in-time that processes can wait on."""
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event value accessed before trigger")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value accessed before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = "") -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"process requires a generator, got {type(generator)!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return  # already finished; interruption is a no-op
+        env = self.env
+
+        def do_interrupt(_: Event) -> None:
+            if self._triggered:
+                return
+            # Detach from whatever event we were waiting on.
+            if self._target is not None and self._resume in self._target.callbacks:
+                self._target.callbacks.remove(self._resume)
+            self._step(Interrupt(cause), throw=True)
+
+        wake = Event(env)
+        wake.callbacks.append(do_interrupt)
+        wake.succeed()
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok:
+            self._step(event._value, throw=False)
+        else:
+            event._defused = True
+            self._step(event._value, throw=True)
+
+    def _step(self, value: Any, *, throw: bool) -> None:
+        self.env._active_process = self
+        try:
+            if throw:
+                exc = value if isinstance(value, BaseException) else SimulationError(str(value))
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self._ok = True
+            self._value = stop.value
+            self.env._schedule(self)
+            return
+        except BaseException as exc:  # propagate failure to waiters
+            self.env._active_process = None
+            self._ok = False
+            self._value = exc
+            self.env._schedule(self)
+            return
+        self.env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+        if target.env is not self.env:
+            raise SimulationError("process yielded an event from a different environment")
+        if target._processed:
+            # Waiting on an already-processed event resumes immediately.
+            immediate = Event(self.env)
+            immediate._ok = target._ok
+            immediate._value = target._value
+            immediate.callbacks.append(self._resume)
+            self.env._schedule(immediate)
+            self._target = immediate
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_completed")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._completed = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes environments")
+            if ev._processed:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev._processed or ev._triggered}
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value maps event -> value."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._completed += 1
+        if self._completed == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation clock plus the pending-event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factory helpers -------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._triggered:
+            raise SimulationError("event scheduled twice")
+        event._triggered = True
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be a time (run up to and including that instant), an
+        :class:`Event` (run until it fires; its value is returned), or
+        ``None`` (run to quiescence).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop._processed:
+                if not self._queue:
+                    raise SimulationError("deadlock: queue empty before `until` event fired")
+                self.step()
+            if not stop._ok:
+                raise stop._value
+            return stop._value
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            raise SimulationError(f"run(until={deadline}) is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

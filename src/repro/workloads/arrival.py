@@ -1,0 +1,51 @@
+"""Arrival processes for microbenchmarks.
+
+Fig. 8 feeds the aggregation service batches of 20/60/100 model updates
+"arriving at the aggregation service concurrently"; the capacity probe of
+Appendix E drives a node with increasing Poisson rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+def concurrent_arrivals(n: int, jitter: float = 0.0, rng: np.random.Generator | None = None) -> list[float]:
+    """``n`` updates at t=0, optionally with small uniform jitter (real
+    trainers never hit the wire at the same nanosecond)."""
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    if jitter < 0:
+        raise ConfigError("jitter must be non-negative")
+    if jitter == 0.0 or rng is None:
+        return [0.0] * n
+    return sorted(float(t) for t in rng.uniform(0.0, jitter, size=n))
+
+
+def staggered_arrivals(n: int, spread: float) -> list[float]:
+    """``n`` updates evenly spread over ``spread`` seconds (lazy-vs-eager
+    illustrations, Fig. 1)."""
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    if spread < 0:
+        raise ConfigError("spread must be non-negative")
+    if n == 1:
+        return [0.0]
+    return [spread * i / (n - 1) for i in range(n)]
+
+
+def poisson_arrivals(rate: float, horizon: float, rng: np.random.Generator) -> list[float]:
+    """Poisson process of ``rate`` arrivals/s over ``horizon`` seconds
+    (Appendix E's capacity probing)."""
+    if rate <= 0 or horizon <= 0:
+        raise ConfigError("rate and horizon must be positive")
+    times = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / rate))
+        if t >= horizon:
+            break
+        times.append(t)
+    return times

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.rng import make_rng
+from repro.sim.engine import Environment
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return make_rng(1234, "tests")

@@ -1,0 +1,118 @@
+"""Processor-sharing links and the fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.network import Fabric, ProcessorSharingLink
+from repro.common.errors import SimulationError
+
+
+def test_single_flow_takes_size_over_capacity(env):
+    link = ProcessorSharingLink(env, capacity_bps=100.0)
+    done = link.transfer(1000.0)
+    env.run()
+    assert done.processed
+    assert env.now == pytest.approx(10.0)
+
+
+def test_two_equal_flows_share_capacity(env):
+    link = ProcessorSharingLink(env, capacity_bps=100.0)
+    d1 = link.transfer(500.0)
+    d2 = link.transfer(500.0)
+    env.run()
+    # Each gets 50 B/s; both finish at t = 10.
+    assert d1.processed and d2.processed
+    assert env.now == pytest.approx(10.0)
+
+
+def test_late_joiner_slows_first_flow(env):
+    link = ProcessorSharingLink(env, capacity_bps=100.0)
+    finish = {}
+
+    def start_second():
+        yield env.timeout(5.0)
+        done2 = link.transfer(250.0)
+        yield done2
+        finish["second"] = env.now
+
+    def first():
+        done1 = link.transfer(1000.0)
+        yield done1
+        finish["first"] = env.now
+
+    env.process(first())
+    env.process(start_second())
+    env.run()
+    # First sends 500 B alone by t=5; then shares: second needs 250 B at
+    # 50 B/s => finishes at t=10; first has 250 B left at t=10, then full
+    # rate: +2.5 s => 12.5.
+    assert finish["second"] == pytest.approx(10.0, abs=1e-6)
+    assert finish["first"] == pytest.approx(12.5, abs=1e-6)
+
+
+def test_flow_conservation_many_flows(env):
+    link = ProcessorSharingLink(env, capacity_bps=1000.0)
+    sizes = [100.0, 400.0, 900.0, 1600.0]
+    events = [link.transfer(s) for s in sizes]
+    env.run()
+    assert all(e.processed for e in events)
+    # Total bytes over total time cannot exceed capacity.
+    assert sum(sizes) / env.now <= 1000.0 + 1e-6
+    assert link.active_flows == 0
+
+
+def test_zero_or_negative_flow_rejected(env):
+    link = ProcessorSharingLink(env, capacity_bps=10.0)
+    with pytest.raises(SimulationError):
+        link.transfer(0.0)
+    with pytest.raises(SimulationError):
+        ProcessorSharingLink(env, capacity_bps=0.0)
+
+
+def test_fabric_transfer_uses_both_endpoints(env):
+    fabric = Fabric(env, nic_bps=100.0)
+    fabric.register_node("a")
+    fabric.register_node("b")
+    done = fabric.transfer("a", "b", 1000.0)
+    env.run()
+    assert done.processed
+    assert env.now == pytest.approx(10.0)
+    assert fabric.tx_link("a").bytes_carried > 0
+    assert fabric.rx_link("b").bytes_carried > 0
+
+
+def test_fabric_intra_node_transfer_is_free(env):
+    fabric = Fabric(env, nic_bps=100.0)
+    fabric.register_node("a")
+    done = fabric.transfer("a", "a", 1e9)
+    env.run()
+    assert done.processed
+    assert env.now == 0.0
+
+
+def test_fabric_unknown_endpoint(env):
+    fabric = Fabric(env, nic_bps=100.0)
+    fabric.register_node("a")
+    with pytest.raises(SimulationError):
+        fabric.transfer("a", "nope", 10.0)
+
+
+def test_fabric_duplicate_registration(env):
+    fabric = Fabric(env, nic_bps=100.0)
+    fabric.register_node("a")
+    with pytest.raises(SimulationError):
+        fabric.register_node("a")
+
+
+def test_incast_contention_on_rx_link(env):
+    """Four senders to one receiver: rx link is the bottleneck (Fig. 4's
+    contention scenario)."""
+    fabric = Fabric(env, nic_bps=100.0)
+    for n in ("s1", "s2", "s3", "s4", "dst"):
+        fabric.register_node(n)
+    events = [fabric.transfer(f"s{i}", "dst", 250.0) for i in range(1, 5)]
+    env.run()
+    assert all(e.processed for e in events)
+    # 1000 bytes through a 100 B/s rx link: 10 s, vs 2.5 s uncontended.
+    assert env.now == pytest.approx(10.0, abs=1e-6)

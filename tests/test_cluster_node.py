@@ -1,0 +1,86 @@
+"""Worker nodes: CPU ledger, shm accounting, cluster assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import CpuAccount, NodeSpec, WorkerNode
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.common.errors import ConfigError, SimulationError
+
+
+def test_node_spec_defaults_match_testbed():
+    spec = NodeSpec(name="n")
+    assert spec.cores == 64
+    assert spec.nic_bps == 1.25e9
+    assert spec.max_service_capacity == 20
+
+
+def test_node_spec_validation():
+    with pytest.raises(SimulationError):
+        NodeSpec(name="n", cores=0)
+    with pytest.raises(SimulationError):
+        NodeSpec(name="n", max_service_capacity=0)
+
+
+def test_cpu_account_buckets():
+    acct = CpuAccount()
+    acct.charge("agg", 1.5)
+    acct.charge("agg", 0.5)
+    acct.charge("dataplane", 2.0)
+    assert acct.get("agg") == pytest.approx(2.0)
+    assert acct.total() == pytest.approx(4.0)
+    with pytest.raises(SimulationError):
+        acct.charge("agg", -1.0)
+
+
+def test_execute_occupies_core_and_charges(env):
+    node = WorkerNode(env, NodeSpec(name="n", cores=1))
+    order = []
+
+    def task(name):
+        yield from node.execute(2.0, "aggregation")
+        order.append((name, env.now))
+
+    env.process(task("a"))
+    env.process(task("b"))
+    env.run()
+    # One core: b runs after a.
+    assert order == [("a", 2.0), ("b", 4.0)]
+    assert node.cpu.get("aggregation") == pytest.approx(4.0)
+
+
+def test_shm_accounting_and_high_water(env):
+    node = WorkerNode(env, NodeSpec(name="n", memory_bytes=100.0))
+    node.shm_alloc(60.0)
+    node.shm_alloc(30.0)
+    assert node.shm_high_water == pytest.approx(90.0)
+    node.shm_free(50.0)
+    assert node.shm_bytes_in_use == pytest.approx(40.0)
+    with pytest.raises(SimulationError):
+        node.shm_alloc(100.0)
+    with pytest.raises(SimulationError):
+        node.shm_free(999.0)
+
+
+def test_cluster_builds_named_nodes(env):
+    cluster = Cluster(env, ClusterSpec(node_count=3))
+    assert cluster.node_names == ["node0", "node1", "node2"]
+    assert cluster.node("node1").spec.cores == 64
+    with pytest.raises(ConfigError):
+        cluster.node("node9")
+
+
+def test_cluster_cpu_rollup(env):
+    cluster = Cluster(env, ClusterSpec(node_count=2))
+    cluster.node("node0").charge_cpu(1.0, "agg")
+    cluster.node("node1").charge_cpu(2.0, "agg")
+    cluster.node("node1").charge_cpu(3.0, "ingress")
+    assert cluster.total_cpu_seconds() == pytest.approx(6.0)
+    assert cluster.total_cpu_seconds("agg") == pytest.approx(3.0)
+    assert cluster.cpu_breakdown() == {"agg": 3.0, "ingress": 3.0}
+
+
+def test_cluster_spec_validation(env):
+    with pytest.raises(ConfigError):
+        ClusterSpec(node_count=0)

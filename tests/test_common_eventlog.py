@@ -1,0 +1,51 @@
+"""Timeline event log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.eventlog import EventLog, TimelineEvent
+
+
+def test_event_duration_and_validation():
+    ev = TimelineEvent("Top", "agg", 1.0, 3.5)
+    assert ev.duration == pytest.approx(2.5)
+    with pytest.raises(ValueError):
+        TimelineEvent("Top", "agg", 3.0, 1.0)
+
+
+def test_record_and_query():
+    log = EventLog()
+    log.record("LF1", "network", 0.0, 1.0)
+    log.record("LF1", "agg", 1.0, 2.0)
+    log.record("Top", "agg", 2.0, 4.0)
+    assert len(log) == 3
+    assert len(log.for_actor("LF1")) == 2
+    assert len(log.of_kind("agg")) == 2
+    assert log.actors() == ["LF1", "Top"]
+    assert log.span() == (0.0, 4.0)
+
+
+def test_busy_time_sums_by_kind():
+    log = EventLog()
+    log.record("A", "agg", 0.0, 1.0)
+    log.record("A", "agg", 2.0, 3.5)
+    log.record("A", "network", 1.0, 2.0)
+    assert log.busy_time("A") == pytest.approx(3.5)
+    assert log.busy_time("A", "agg") == pytest.approx(2.5)
+
+
+def test_empty_log_span_and_render():
+    log = EventLog()
+    assert log.span() == (0.0, 0.0)
+    assert "empty" in log.render_ascii()
+
+
+def test_render_ascii_has_row_per_actor():
+    log = EventLog()
+    log.record("Top", "agg", 0.0, 10.0)
+    log.record("LF1", "network", 0.0, 5.0)
+    art = log.render_ascii(width=20)
+    lines = art.splitlines()
+    assert any("Top" in line and "A" in line for line in lines)
+    assert any("LF1" in line and "N" in line for line in lines)

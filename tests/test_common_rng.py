@@ -1,0 +1,49 @@
+"""Deterministic RNG streams."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import RngRegistry, make_rng
+
+
+def test_same_seed_same_stream_is_deterministic():
+    a = make_rng(42, "clients").standard_normal(8)
+    b = make_rng(42, "clients").standard_normal(8)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_streams_are_decorrelated():
+    a = make_rng(42, "clients").standard_normal(8)
+    b = make_rng(42, "training").standard_normal(8)
+    assert not np.allclose(a, b)
+
+
+def test_different_seeds_differ():
+    a = make_rng(1, "x").standard_normal(8)
+    b = make_rng(2, "x").standard_normal(8)
+    assert not np.allclose(a, b)
+
+
+def test_registry_memoizes_streams():
+    reg = RngRegistry(7)
+    s1 = reg.stream("alpha")
+    s2 = reg.stream("alpha")
+    assert s1 is s2
+
+
+def test_registry_streams_independent_of_creation_order():
+    r1 = RngRegistry(7)
+    r2 = RngRegistry(7)
+    _ = r1.stream("first")
+    a = r1.stream("second").standard_normal(4)
+    b = r2.stream("second").standard_normal(4)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_fork_changes_seed_deterministically():
+    a = RngRegistry(7).fork("trial0")
+    b = RngRegistry(7).fork("trial0")
+    c = RngRegistry(7).fork("trial1")
+    assert a.seed == b.seed
+    assert a.seed != c.seed

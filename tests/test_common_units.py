@@ -1,0 +1,51 @@
+"""Units, formatting, and cycle conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import units
+
+
+def test_model_sizes_match_paper():
+    assert units.RESNET18_BYTES == 44e6
+    assert units.RESNET34_BYTES == 83e6
+    assert units.RESNET152_BYTES == 232e6
+
+
+def test_cycles_roundtrip():
+    secs = 0.875
+    gc = units.cpu_seconds_to_gcycles(secs)
+    assert units.gcycles_to_cpu_seconds(gc) == pytest.approx(secs)
+
+
+def test_gcycles_at_testbed_clock():
+    # 1 second at 2.8 GHz is 2.8 G-cycles.
+    assert units.cpu_seconds_to_gcycles(1.0) == pytest.approx(2.8)
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (232e6, "232.0MB"),
+        (1.5e9, "1.50GB"),
+        (2048.0, "2.0KB"),
+        (12.0, "12B"),
+    ],
+)
+def test_fmt_bytes(value, expected):
+    assert units.fmt_bytes(value) == expected
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (2 * 3600.0, "2.00h"),
+        (90.0, "1.5min"),
+        (44.9, "44.9s"),
+        (0.017, "17.0ms"),
+        (5e-5, "50.0us"),
+    ],
+)
+def test_fmt_duration(value, expected):
+    assert units.fmt_duration(value) == expected

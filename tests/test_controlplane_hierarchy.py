@@ -1,0 +1,126 @@
+"""Hierarchy planning: two-level k-ary trees, validation, routes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.controlplane.hierarchy import (
+    AggregatorSpec,
+    HierarchyPlan,
+    Role,
+    plan_hierarchy,
+    plan_node_hierarchy,
+)
+
+
+def test_node_hierarchy_sizing_follows_q_over_i():
+    nh = plan_node_hierarchy("n", pending_updates=20, updates_per_leaf=2)
+    assert nh.leaf_count == 10
+    assert not nh.collapsed
+    assert nh.aggregator_count == 11  # 10 leaves + middle
+
+
+def test_node_hierarchy_rounds_up():
+    nh = plan_node_hierarchy("n", pending_updates=5, updates_per_leaf=2)
+    assert nh.leaf_count == 3
+
+
+def test_node_hierarchy_collapses_small_queue():
+    nh = plan_node_hierarchy("n", pending_updates=2, updates_per_leaf=2)
+    assert nh.collapsed
+    assert nh.aggregator_count == 1
+
+
+def test_node_hierarchy_zero_pending():
+    nh = plan_node_hierarchy("n", 0)
+    assert nh.leaf_count == 0 and nh.collapsed
+
+
+def test_node_hierarchy_validation():
+    with pytest.raises(ConfigError):
+        plan_node_hierarchy("n", -1)
+    with pytest.raises(ConfigError):
+        plan_node_hierarchy("n", 5, updates_per_leaf=0)
+
+
+def test_plan_single_node_structure():
+    plan = plan_hierarchy({"node0": 20}, updates_per_leaf=2)
+    assert plan.top_node == "node0"
+    assert len(plan.by_role(Role.LEAF)) == 10
+    assert len(plan.by_role(Role.MIDDLE)) == 1
+    assert len(plan.by_role(Role.TOP)) == 1
+    plan.validate()
+
+
+def test_plan_leaf_fan_ins_cover_pending():
+    plan = plan_hierarchy({"node0": 7}, updates_per_leaf=2)
+    leaf_total = sum(a.fan_in for a in plan.by_role(Role.LEAF))
+    assert leaf_total == 7
+
+
+def test_plan_multi_node_top_on_largest_queue():
+    plan = plan_hierarchy({"node0": 4, "node1": 12, "node2": 4})
+    assert plan.top_node == "node1"
+    assert plan.top.fan_in == 3  # one intermediate per active node
+
+
+def test_plan_respects_explicit_top_node():
+    plan = plan_hierarchy({"node0": 4, "node1": 12}, top_node="node0")
+    assert plan.top_node == "node0"
+    with pytest.raises(ConfigError):
+        plan_hierarchy({"node0": 4}, top_node="ghost")
+
+
+def test_plan_empty_when_no_pending():
+    plan = plan_hierarchy({"node0": 0})
+    assert not plan.aggregators
+
+
+def test_routes_map_child_to_parent():
+    plan = plan_hierarchy({"node0": 8})
+    routes = plan.routes()
+    mid = plan.by_role(Role.MIDDLE)[0]
+    top = plan.top
+    for leaf in plan.by_role(Role.LEAF):
+        assert routes[leaf.agg_id] == mid.agg_id
+    assert routes[mid.agg_id] == top.agg_id
+    assert top.agg_id not in routes
+
+
+def test_collapsed_node_reports_straight_to_top():
+    plan = plan_hierarchy({"node0": 20, "node1": 2})
+    node1_aggs = plan.on_node("node1")
+    assert len(node1_aggs) == 1
+    assert node1_aggs[0].parent == plan.top.agg_id
+
+
+def test_round_id_gives_fresh_agg_ids():
+    p0 = plan_hierarchy({"node0": 4}, round_id=0)
+    p1 = plan_hierarchy({"node0": 4}, round_id=1)
+    assert set(p0.aggregators).isdisjoint(set(p1.aggregators))
+
+
+def test_validate_rejects_orphan_parent():
+    plan = HierarchyPlan()
+    plan.aggregators["top"] = AggregatorSpec("top", Role.TOP, "n0", 1)
+    plan.aggregators["leaf"] = AggregatorSpec("leaf", Role.LEAF, "n0", 2, parent="ghost")
+    with pytest.raises(ConfigError):
+        plan.validate()
+
+
+def test_validate_rejects_two_tops():
+    plan = HierarchyPlan()
+    plan.aggregators["t1"] = AggregatorSpec("t1", Role.TOP, "n0", 1)
+    plan.aggregators["t2"] = AggregatorSpec("t2", Role.TOP, "n0", 1)
+    with pytest.raises(ConfigError):
+        plan.validate()
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigError):
+        AggregatorSpec("x", Role.TOP, "n0", fan_in=1, parent="y")
+    with pytest.raises(ConfigError):
+        AggregatorSpec("x", Role.LEAF, "n0", fan_in=1)  # leaf needs parent
+    with pytest.raises(ConfigError):
+        AggregatorSpec("x", Role.TOP, "n0", fan_in=0)

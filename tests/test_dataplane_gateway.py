@@ -1,0 +1,53 @@
+"""Gateway vertical scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import MB
+from repro.dataplane.calibration import DEFAULT_CALIBRATION
+from repro.dataplane.gateway import VerticalScaler
+
+
+def make_scaler(**kw) -> VerticalScaler:
+    return VerticalScaler(DEFAULT_CALIBRATION, **kw)
+
+
+def test_min_cores_at_zero_load():
+    assert make_scaler().cores_for_load(0.0) == 1
+
+
+def test_scales_with_load():
+    s = make_scaler()
+    low = s.cores_for_load(100 * MB)
+    high = s.cores_for_load(2000 * MB)
+    assert high > low
+
+
+def test_caps_at_max_cores():
+    s = make_scaler(max_cores=4)
+    assert s.cores_for_load(1e12) == 4
+
+
+def test_headroom_inflates_requirement():
+    tight = VerticalScaler(DEFAULT_CALIBRATION, headroom=1.0, max_cores=100)
+    slack = VerticalScaler(DEFAULT_CALIBRATION, headroom=2.0, max_cores=100)
+    load = 10 * DEFAULT_CALIBRATION.gateway_core_service_bps
+    assert slack.cores_for_load(load) >= tight.cores_for_load(load)
+
+
+def test_bottleneck_detection():
+    s = make_scaler()
+    rate = s.service_rate(2)
+    assert not s.is_bottleneck(rate * 0.9, 2)
+    assert s.is_bottleneck(rate * 1.1, 2)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        make_scaler(min_cores=0)
+    with pytest.raises(ConfigError):
+        make_scaler(headroom=0.5)
+    with pytest.raises(ConfigError):
+        make_scaler().cores_for_load(-1.0)

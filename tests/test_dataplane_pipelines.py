@@ -1,0 +1,131 @@
+"""Pipeline cost algebra and the calibrated system pipelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import MB, RESNET152_BYTES, RESNET18_BYTES
+from repro.dataplane.calibration import DEFAULT_CALIBRATION, DataplaneCalibration
+from repro.dataplane.pipelines import (
+    PipelineKind,
+    QueuingDesign,
+    inter_node_pipeline,
+    intra_node_pipeline,
+    queuing_pipeline,
+)
+from repro.dataplane.transfer import Hop, HopCost, Pipeline
+
+
+def test_hop_cost_affine():
+    cost = HopCost(latency_fixed=0.1, latency_per_byte=1e-8, cpu_per_byte=2e-8)
+    assert cost.latency(1e8) == pytest.approx(0.1 + 1.0)
+    assert cost.cpu(1e8) == pytest.approx(2.0)
+
+
+def test_hop_cost_rejects_negative():
+    with pytest.raises(ConfigError):
+        HopCost(latency_fixed=-1.0)
+
+
+def test_pipeline_sums_hops_and_groups():
+    p = Pipeline(
+        "test",
+        [
+            Hop("a", HopCost(latency_fixed=1.0, cpu_fixed=0.5, copies=1), group="base"),
+            Hop("b", HopCost(latency_fixed=2.0, cpu_fixed=0.25, copies=1), group="extra"),
+        ],
+    )
+    r = p.cost(0.0)
+    assert r.latency == pytest.approx(3.0)
+    assert r.cpu_seconds == pytest.approx(0.75)
+    assert r.buffer_copies == 2
+    assert r.latency_by_group == {"base": 1.0, "extra": 2.0}
+
+
+def test_pipeline_requires_hops():
+    with pytest.raises(ConfigError):
+        Pipeline("empty", [])
+
+
+def test_pipeline_extended_appends():
+    base = intra_node_pipeline(PipelineKind.SERVERFUL)
+    longer = base.extended("longer", [Hop("x", HopCost(latency_fixed=1.0))])
+    assert len(longer) == len(base) + 1
+    assert longer.cost(MB).latency == pytest.approx(base.cost(MB).latency + 1.0)
+
+
+# ---- calibration targets from the paper -----------------------------------
+
+def test_fig7a_lifl_latencies():
+    p = intra_node_pipeline(PipelineKind.LIFL)
+    assert p.cost(RESNET18_BYTES).latency == pytest.approx(0.14, abs=0.01)
+    assert p.cost(RESNET152_BYTES).latency == pytest.approx(0.76, abs=0.01)
+
+
+def test_fig7a_ratios_at_resnet152():
+    lifl = intra_node_pipeline(PipelineKind.LIFL).cost(RESNET152_BYTES).latency
+    sf = intra_node_pipeline(PipelineKind.SERVERFUL).cost(RESNET152_BYTES).latency
+    sl = intra_node_pipeline(PipelineKind.SERVERLESS).cost(RESNET152_BYTES).latency
+    assert sf / lifl == pytest.approx(3.0, rel=0.1)
+    assert sl / lifl == pytest.approx(5.8, rel=0.1)
+    assert sl / sf == pytest.approx(2.0, rel=0.1)
+
+
+def test_sl_breakdown_has_sidecar_and_broker_shares():
+    r = intra_node_pipeline(PipelineKind.SERVERLESS).cost(RESNET152_BYTES)
+    assert r.latency_by_group["sidecar"] > 0
+    assert r.latency_by_group["broker"] > 0
+    base = intra_node_pipeline(PipelineKind.SERVERFUL).cost(RESNET152_BYTES).latency
+    assert r.latency_by_group["base"] == pytest.approx(base, rel=1e-6)
+
+
+def test_inter_node_resnet152_about_4_2s():
+    r = inter_node_pipeline(PipelineKind.LIFL).cost(RESNET152_BYTES)
+    assert r.latency == pytest.approx(4.2, abs=0.15)
+
+
+def test_inter_node_without_wire_is_cheaper():
+    with_wire = inter_node_pipeline(PipelineKind.LIFL, include_wire=True).cost(MB)
+    without = inter_node_pipeline(PipelineKind.LIFL, include_wire=False).cost(MB)
+    assert with_wire.latency > without.latency
+
+
+def test_queuing_copies_match_fig13b():
+    copies = {d: queuing_pipeline(d).cost(MB).buffer_copies for d in QueuingDesign}
+    assert copies[QueuingDesign.SF_MONO] == 1
+    assert copies[QueuingDesign.LIFL] == 1
+    assert copies[QueuingDesign.SF_MICRO] == 2
+    assert copies[QueuingDesign.SL_BASIC] == 3
+
+
+def test_queuing_lifl_equivalent_to_monolith():
+    lifl = queuing_pipeline(QueuingDesign.LIFL).cost(RESNET152_BYTES)
+    mono = queuing_pipeline(QueuingDesign.SF_MONO).cost(RESNET152_BYTES)
+    assert lifl.latency == pytest.approx(mono.latency, rel=0.05)
+    assert lifl.cpu_seconds == pytest.approx(mono.cpu_seconds, rel=0.05)
+
+
+def test_queuing_ratios_at_resnet152():
+    lifl = queuing_pipeline(QueuingDesign.LIFL).cost(RESNET152_BYTES)
+    slb = queuing_pipeline(QueuingDesign.SL_BASIC).cost(RESNET152_BYTES)
+    micro = queuing_pipeline(QueuingDesign.SF_MICRO).cost(RESNET152_BYTES)
+    assert slb.latency / lifl.latency == pytest.approx(1.3, abs=0.1)
+    assert micro.latency / lifl.latency == pytest.approx(1.7, abs=0.1)
+    assert slb.cpu_seconds / lifl.cpu_seconds == pytest.approx(1.5, abs=0.1)
+    assert micro.cpu_seconds / lifl.cpu_seconds == pytest.approx(1.9, abs=0.1)
+
+
+def test_calibration_validate_catches_broken_ordering():
+    broken = DataplaneCalibration(shm_write_lat_per_byte=1.0)  # absurdly slow shm
+    with pytest.raises(Exception):
+        broken.validate()
+
+
+def test_default_calibration_is_valid():
+    DEFAULT_CALIBRATION.validate()
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ConfigError):
+        intra_node_pipeline(PipelineKind.LIFL).cost(-1.0)

@@ -1,0 +1,105 @@
+"""Experiment harness: each figure's runner produces the paper's shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    capacity,
+    fig04_hierarchy_dataplane,
+    fig07_dataplane,
+    fig08_orchestration,
+    fig13_queuing,
+    overhead,
+)
+
+
+def test_fig04_ordering_nh_wh_lifl():
+    rows = fig04_hierarchy_dataplane.run()
+    by = {r.setting: r.round_seconds for r in rows}
+    assert by["WH (kernel)"] < by["NH (kernel)"]  # hierarchy helps a little
+    assert by["WH (LIFL)"] < by["WH (kernel)"]  # shm data plane helps a lot
+    # Paper: 59.8 / 57 / 44.9 — absolute values within ~15%.
+    assert by["NH (kernel)"] == pytest.approx(59.8, rel=0.15)
+    assert by["WH (kernel)"] == pytest.approx(57.0, rel=0.15)
+    assert by["WH (LIFL)"] == pytest.approx(44.9, rel=0.15)
+
+
+def test_fig07_paper_ratios():
+    rows = fig07_dataplane.run()
+    ratios = fig07_dataplane.headline_ratios(rows)
+    assert ratios["sf_over_lifl"] == pytest.approx(3.0, rel=0.1)
+    assert ratios["sl_over_lifl"] == pytest.approx(5.8, rel=0.1)
+    assert ratios["sl_over_sf"] == pytest.approx(2.0, rel=0.1)
+
+
+def test_fig07_sl_breakdown_nonzero():
+    rows = fig07_dataplane.run()
+    sl = [r for r in rows if r.system == "SL"]
+    assert all(r.sidecar_share_s > 0 and r.broker_share_s > 0 for r in sl)
+
+
+@pytest.fixture(scope="module")
+def fig8_rows():
+    return fig08_orchestration.run()
+
+
+def test_fig08_act_monotone_in_ablation(fig8_rows):
+    order = ["SL-H", "+1", "+1+2", "+1+2+3", "+1+2+3+4"]
+    for batch in (20, 60):
+        acts = [
+            next(r.act_s for r in fig8_rows if r.config == c and r.batch == batch)
+            for c in order
+        ]
+        assert all(a >= b - 1e-6 for a, b in zip(acts, acts[1:])), (batch, acts)
+
+
+def test_fig08_nodes_used_matches_paper(fig8_rows):
+    """Fig. 8(d): LIFL packs 20/60/100 updates into 1/3/5 nodes; SL-H
+    always spreads over 5."""
+    for batch, expected in [(20, 1), (60, 3), (100, 5)]:
+        lifl = next(r for r in fig8_rows if r.config == "+1+2+3+4" and r.batch == batch)
+        assert lifl.nodes_used == expected
+    for batch in (20, 60, 100):
+        slh = next(r for r in fig8_rows if r.config == "SL-H" and r.batch == batch)
+        assert slh.nodes_used == 5
+
+
+def test_fig08_reuse_eliminates_creations(fig8_rows):
+    for batch in (20, 60, 100):
+        with_reuse = next(r for r in fig8_rows if r.config == "+1+2+3" and r.batch == batch)
+        without = next(r for r in fig8_rows if r.config == "+1+2" and r.batch == batch)
+        assert with_reuse.aggregators_created < without.aggregators_created
+
+
+def test_fig08_placement_saves_cpu(fig8_rows):
+    for batch in (20, 60):
+        slh = next(r for r in fig8_rows if r.config == "SL-H" and r.batch == batch)
+        p1 = next(r for r in fig8_rows if r.config == "+1" and r.batch == batch)
+        assert slh.cpu_s / p1.cpu_s > 1.5  # paper: ~2x
+
+
+def test_fig13_shape():
+    rows = fig13_queuing.run()
+    k = fig13_queuing.ratios_at_m3(rows)
+    assert k["mem_slb_over_mono"] == pytest.approx(3.0)
+    assert k["cpu_slb_over_lifl"] == pytest.approx(1.5, abs=0.15)
+    assert k["cpu_sfmicro_over_lifl"] == pytest.approx(1.9, abs=0.15)
+    assert k["delay_slb_over_lifl"] == pytest.approx(1.3, abs=0.15)
+    assert k["delay_sfmicro_over_lifl"] == pytest.approx(1.7, abs=0.15)
+    assert k["lifl_vs_mono_delay"] == pytest.approx(1.0, abs=0.1)
+
+
+def test_overhead_within_paper_budgets():
+    rows = overhead.run()
+    by = {r.operation: r for r in rows}
+    assert by["placement, 10K clients"].measured_ms < 17.0
+    assert by["EWMA per estimate"].measured_ms < 0.2
+
+
+def test_capacity_probe_estimates_mc_near_testbed_value():
+    points = capacity.probe_node()
+    mc = capacity.estimate_mc(points)
+    assert mc == pytest.approx(20.0, rel=0.25)  # paper's MC_i = 20
+    # E must inflate under overload:
+    assert points[-1].mean_exec_time > 2 * points[0].mean_exec_time

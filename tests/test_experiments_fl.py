@@ -1,0 +1,58 @@
+"""Fig. 9/10 experiment shapes (trimmed rounds for test speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig09_fl_workloads import RESNET18_SETUP, run as run_fig09
+from repro.experiments.fig10_timeseries import RESNET18_SETUP as TS18, extract_series, run as run_fig10
+
+
+@pytest.fixture(scope="module")
+def r18_results():
+    return run_fig09(RESNET18_SETUP, max_rounds=80)
+
+
+def test_fig09_time_to_accuracy_ordering(r18_results):
+    tta = {name: res.time_to_accuracy(0.70) for name, res in r18_results.items()}
+    assert all(v is not None for v in tta.values())
+    assert tta["LIFL"] < tta["SF"] < tta["SL"]
+
+
+def test_fig09_ratios_in_paper_band(r18_results):
+    tta = {name: res.time_to_accuracy(0.70) for name, res in r18_results.items()}
+    assert tta["SF"] / tta["LIFL"] == pytest.approx(1.6, abs=0.35)
+    assert tta["SL"] / tta["LIFL"] == pytest.approx(2.7, abs=0.6)
+
+
+def test_fig09_cost_to_accuracy_ordering(r18_results):
+    cta = {name: res.cost_to_accuracy(0.70) for name, res in r18_results.items()}
+    assert cta["LIFL"] < cta["SF"] < cta["SL"]
+    assert cta["SL"] / cta["LIFL"] > 4.0  # paper: >5x
+
+
+def test_fig09_lifl_absolute_hours(r18_results):
+    tta_h = r18_results["LIFL"].time_to_accuracy(0.70) / 3600
+    assert tta_h == pytest.approx(0.9, abs=0.2)
+
+
+def test_fig10_series_shapes():
+    series = run_fig10(TS18, max_rounds=10)
+    sf = series["SF"]
+    lifl = series["LIFL"]
+    # SF's active aggregators are flat at the always-on allocation.
+    assert len({p.active_aggregators for p in sf}) == 1
+    assert sf[0].active_aggregators == 60
+    # LIFL scales with load (dozens of short-lived instances, not 60 fixed).
+    assert all(p.active_aggregators < 60 for p in lifl)
+    # CPU per round: SL >> SF > LIFL on average.
+    mean = lambda pts: sum(p.cpu_per_round for p in pts) / len(pts)  # noqa: E731
+    assert mean(series["SL"]) > mean(series["SF"]) > mean(series["LIFL"])
+
+
+def test_fig10_arrival_rates_similar_across_systems():
+    series = run_fig10(TS18, max_rounds=6)
+    rates = {name: sum(p.arrivals_per_minute for p in pts) / len(pts) for name, pts in series.items()}
+    base = rates["LIFL"]
+    for name, rate in rates.items():
+        assert rate == pytest.approx(base, rel=0.35), name

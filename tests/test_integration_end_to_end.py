@@ -1,0 +1,158 @@
+"""Integration tests: the pieces working together.
+
+1. Real FL training (NumPy MLP, non-IID shards) aggregated **through the
+   real shared-memory runtime** — gateways, SKMSG routing, hierarchical
+   leaf→middle→top FedAvg — reaching the same global model as a centralized
+   reference, and actually learning.
+2. The simulation platforms producing the paper's qualitative orderings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import RoutingError
+from repro.common.rng import make_rng
+from repro.common.units import RESNET152_BYTES
+from repro.controlplane.agent import NodeAgent
+from repro.controlplane.hierarchy import plan_hierarchy
+from repro.controlplane.metrics import MetricsServer
+from repro.core.platform import AggregationPlatform, PlatformConfig
+from repro.fl.datasets import make_federated_dataset
+from repro.fl.fedavg import FedAvgAccumulator, ModelUpdate, federated_average
+from repro.fl.model import Model
+from repro.fl.training import MLP, LocalTrainer, TrainingConfig
+from repro.runtime.gateway import encode_update
+
+
+class RuntimeAggregator:
+    """A minimal real aggregator on top of the runtime: collects object
+    keys from its mailbox, FedAvg-accumulates, and sends its result."""
+
+    def __init__(self, agg_id, agent, fan_in, weights_by_source):
+        self.agg_id = agg_id
+        self.agent = agent
+        self.fan_in = fan_in
+        self.weights = weights_by_source
+        self.acc = FedAvgAccumulator()
+        self.received = 0
+        self.output_key = None
+
+    def deliver(self, src_id, key, dst_id):
+        arr = self.agent.store.get(key)
+        update = ModelUpdate(
+            Model({"flat": np.array(arr, copy=True)}), weight=self.weights[src_id]
+        )
+        self.agent.store.release(key)
+        self.acc.add(update)
+        self.received += 1
+        self.agent.metrics_map.on_aggregate(self.agg_id, 0.0)
+        if self.received == self.fan_in:
+            result = self.acc.result(producer=self.agg_id)
+            out_key = self.agent.store.put(result.model["flat"])
+            # Publish this intermediate's weight before the send cascades
+            # into the parent's deliver().
+            self.weights[self.agg_id] = result.weight
+            try:
+                self.agent.router.send(self.agg_id, out_key)
+            except RoutingError:
+                # top aggregator: no route — keep the result
+                self.output_key = out_key
+
+
+def test_hierarchical_runtime_aggregation_matches_flat_fedavg():
+    """Two nodes, leaf→middle→top over real shm + sockmap routing."""
+    ms = MetricsServer()
+    ms.register_node("n0", 20)
+    ms.register_node("n1", 20)
+    with NodeAgent("n0", ms) as a0, NodeAgent("n1", ms) as a1:
+        agents = {"n0": a0, "n1": a1}
+        plan = plan_hierarchy({"n0": 4, "n1": 2}, updates_per_leaf=2, top_node="n0")
+        rng = make_rng(0, "updates")
+        weights = {}  # source id (client or aggregator) -> FedAvg weight
+        aggs = {}
+        # Build aggregators and register sockets.
+        for agg_id, spec in plan.aggregators.items():
+            agg = RuntimeAggregator(agg_id, agents[spec.node], spec.fan_in, weights)
+            aggs[agg_id] = agg
+            agents[spec.node].register_aggregator(agg_id, agg)
+        for agent in agents.values():
+            agent.apply_routes(plan, agents)
+        # Weights for intermediate sources are filled as results flow; for
+        # clients we generate updates here.
+        parents = {s.parent for s in plan.aggregators.values() if s.parent}
+        frontier = [s for s in plan.aggregators.values() if s.agg_id not in parents]
+        all_updates = []
+        uid = 0
+        for spec in frontier:
+            agent = agents[spec.node]
+            for _ in range(spec.fan_in):
+                vec = rng.standard_normal(16)
+                w = float(rng.integers(1, 10))
+                cid = f"client{uid}"
+                uid += 1
+                weights[cid] = w
+                all_updates.append(ModelUpdate(Model({"flat": vec}), weight=w))
+                agent.gateway.receive(encode_update(vec), spec.agg_id, src_id=cid)
+        # The sends cascade synchronously; the top should hold the result.
+        top = aggs[plan.top.agg_id]
+        assert top.output_key is not None
+        result = agents[plan.top.node].store.get(top.output_key)
+        expected = federated_average(all_updates).model["flat"]
+        np.testing.assert_allclose(result, expected, rtol=1e-6)
+
+
+def test_weights_known_before_cascade():
+    """Regression guard for the ordering in the previous test: leaf results
+    cascade synchronously inside gateway.receive, so parent lookups of
+    intermediate weights must happen via the accumulator, not a pre-built
+    table.  (Covered implicitly above; this asserts the helper behaviour.)"""
+    acc = FedAvgAccumulator()
+    acc.add(ModelUpdate(Model({"w": np.ones(2)}), weight=3.0))
+    out = acc.result()
+    assert out.weight == 3.0
+
+
+def test_real_fl_training_learns_through_simulated_platform():
+    """End-to-end: real local SGD + FedAvg, platform used for system
+    metrics; accuracy on held-out data improves substantially."""
+    ds = make_federated_dataset(n_clients=20, num_classes=5, dim=16, mean_samples=80, seed=3)
+    mlp = MLP(dim=16, hidden=32, num_classes=5)
+    rng = make_rng(3, "train")
+    global_model = mlp.init_params(rng)
+    trainer = LocalTrainer(mlp, TrainingConfig(epochs=2, learning_rate=0.1))
+    platform = AggregationPlatform(PlatformConfig.lifl())
+    clients = list(ds.shards.values())[:10]
+    acc0 = mlp.accuracy(global_model, ds.test_features, ds.test_labels)
+    total_system_cpu = 0.0
+    for _ in range(10):
+        acc = FedAvgAccumulator()
+        arrivals = []
+        for shard in clients:
+            params, _ = trainer.train(global_model, shard, rng)
+            acc.add(ModelUpdate(params, weight=float(shard.num_samples)))
+            arrivals.append((float(rng.uniform(0, 5)), float(shard.num_samples)))
+        round_result = platform.run_round(arrivals, nbytes=0.3e6, include_eval=False)
+        total_system_cpu += round_result.cpu_total
+        global_model = acc.result().model
+    accN = mlp.accuracy(global_model, ds.test_features, ds.test_labels)
+    assert accN > acc0 + 0.3
+    assert accN > 0.75
+    assert total_system_cpu > 0
+
+
+def test_paper_orderings_hold():
+    """The headline qualitative results, in one place."""
+    arr = [(float(i % 7), 1.0) for i in range(20)]
+    results = {}
+    for cfg in (PlatformConfig.lifl(), PlatformConfig.serverful(instances=20), PlatformConfig.serverless()):
+        plat = AggregationPlatform(cfg)
+        plat.run_round(arr, RESNET152_BYTES)
+        results[cfg.name] = plat.run_round(arr, RESNET152_BYTES)
+    # completion: LIFL < SF < SL
+    assert results["lifl"].completion_time < results["sf"].completion_time
+    assert results["sf"].completion_time < results["sl"].completion_time
+    # CPU: LIFL < SF < SL (paper Figs. 9(b)/(d))
+    assert results["lifl"].cpu_total < results["sf"].cpu_total
+    assert results["sf"].cpu_total < results["sl"].cpu_total

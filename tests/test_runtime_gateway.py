@@ -1,0 +1,154 @@
+"""Gateway RX/TX, inter-node routing, codec, checkpoints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import LiflError, RoutingError
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.gateway import Gateway, decode_update, encode_update
+from repro.runtime.metrics_map import MetricsMap
+from repro.runtime.object_store import SharedMemoryObjectStore
+from repro.runtime.skmsg import SkMsgRouter
+from repro.runtime.sockmap import SockMap
+
+
+class Mailbox:
+    def __init__(self):
+        self.items = []
+
+    def deliver(self, src_id, key, dst_id):
+        self.items.append((src_id, key, dst_id))
+
+
+def make_node(name):
+    store = SharedMemoryObjectStore(node=name)
+    sockmap = SockMap(name)
+    metrics = MetricsMap(name)
+    router = SkMsgRouter(sockmap, metrics, store)
+    gw = Gateway(name, store, router)
+    return store, sockmap, router, gw
+
+
+@pytest.mark.parametrize(
+    "arr",
+    [
+        np.arange(12, dtype=np.float32).reshape(3, 4),
+        np.ones((2, 2, 2), dtype=np.float64),
+        np.array([1, -2, 3], dtype=np.int64),
+        np.zeros(1, dtype=np.float32),
+    ],
+)
+def test_codec_roundtrip(arr):
+    out = decode_update(encode_update(arr))
+    np.testing.assert_array_equal(out, arr)
+    assert out.dtype == arr.dtype
+
+
+def test_gateway_rx_queues_into_shm_and_notifies():
+    store, sockmap, _, gw = make_node("n1")
+    try:
+        leaf = Mailbox()
+        sockmap.update("leaf0", leaf)
+        arr = np.arange(6, dtype=np.float32)
+        key = gw.receive(encode_update(arr), "leaf0", src_id="client7")
+        assert leaf.items == [("client7", key, "leaf0")]
+        np.testing.assert_array_equal(store.get(key), arr)
+        assert gw.rx_updates == 1
+    finally:
+        store.destroy()
+
+
+def test_inter_node_transmit_moves_payload_and_releases_local():
+    s1, sm1, r1, gw1 = make_node("n1")
+    s2, sm2, r2, gw2 = make_node("n2")
+    try:
+        remote_mb = Mailbox()
+        sm2.update("a3", remote_mb)
+        gw1.add_inter_node_route("a3", "n2", gw2)
+        arr = np.linspace(0, 1, 50).astype(np.float32)
+        key = s1.put(arr)
+        gw1.transmit("a1", key, "a3")
+        (src, key2, dst), = remote_mb.items
+        assert (src, dst) == ("a1", "a3")
+        np.testing.assert_array_equal(s2.get(key2), arr)
+        assert s1.object_count == 0  # local copy recycled after transmit
+        assert gw1.tx_updates == 1 and gw2.rx_updates == 1
+    finally:
+        s1.destroy()
+        s2.destroy()
+
+
+def test_full_skmsg_to_gateway_redirect():
+    """Fig. 12: source's sockmap maps a remote destination to the gateway."""
+    s1, sm1, r1, gw1 = make_node("n1")
+    s2, sm2, r2, gw2 = make_node("n2")
+    try:
+        remote_mb = Mailbox()
+        sm2.update("a3", remote_mb)
+        sm1.update("a3", gw1)  # remote dst -> gw socket on node 1
+        gw1.add_inter_node_route("a3", "n2", gw2)
+        r1.set_route("a1", "a3")
+        key = s1.put(np.ones(5, dtype=np.float32))
+        r1.send("a1", key)
+        assert len(remote_mb.items) == 1
+    finally:
+        s1.destroy()
+        s2.destroy()
+
+
+def test_transmit_without_route_raises():
+    s1, _, _, gw1 = make_node("n1")
+    try:
+        key = s1.put(np.zeros(2, dtype=np.float32))
+        with pytest.raises(RoutingError):
+            gw1.transmit("a1", key, "missing")
+    finally:
+        s1.destroy()
+
+
+def test_route_removal():
+    s1, _, _, gw1 = make_node("n1")
+    s2, _, _, gw2 = make_node("n2")
+    try:
+        gw1.add_inter_node_route("a3", "n2", gw2)
+        gw1.remove_inter_node_route("a3")
+        assert gw1.inter_node_route("a3") is None
+        with pytest.raises(RoutingError):
+            gw1.remove_inter_node_route("a3")
+    finally:
+        s1.destroy()
+        s2.destroy()
+
+
+def test_checkpoint_roundtrip(tmp_path):
+    with CheckpointManager(tmp_path) as cm:
+        params = {"w": np.arange(4.0), "b": np.zeros(2)}
+        cm.submit(3, params)
+        cm.flush()
+        loaded = cm.load(3)
+        np.testing.assert_array_equal(loaded["w"], params["w"])
+        assert cm.versions_on_disk() == [3]
+
+
+def test_checkpoint_snapshot_isolated_from_mutation(tmp_path):
+    with CheckpointManager(tmp_path) as cm:
+        w = np.zeros(4)
+        cm.submit(1, {"w": w})
+        w[:] = 99.0  # mutate after submit
+        cm.flush()
+        np.testing.assert_array_equal(cm.load(1)["w"], np.zeros(4))
+
+
+def test_checkpoint_missing_version(tmp_path):
+    with CheckpointManager(tmp_path) as cm:
+        with pytest.raises(LiflError):
+            cm.load(42)
+
+
+def test_checkpoint_closed_rejects_submit(tmp_path):
+    cm = CheckpointManager(tmp_path)
+    cm.close()
+    with pytest.raises(LiflError):
+        cm.submit(1, {"w": np.zeros(1)})

@@ -1,0 +1,118 @@
+"""Shared-memory object store: immutability, keys, refcounts, recycling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ObjectStoreError
+from repro.runtime.object_store import KEY_BYTES, SharedMemoryObjectStore, generate_key
+
+
+@pytest.fixture
+def store():
+    s = SharedMemoryObjectStore(node="test")
+    yield s
+    s.destroy()
+
+
+def test_key_is_16_random_bytes_hex():
+    key = generate_key()
+    assert len(key) == 2 * KEY_BYTES
+    int(key, 16)  # valid hex
+    assert generate_key() != key
+
+
+def test_put_get_roundtrip(store, rng):
+    arr = rng.standard_normal((17, 5)).astype(np.float32)
+    key = store.put(arr)
+    out = store.get(key)
+    np.testing.assert_array_equal(out, arr)
+    assert out.dtype == arr.dtype and out.shape == arr.shape
+
+
+def test_objects_are_immutable(store):
+    key = store.put(np.ones(4, dtype=np.float32))
+    view = store.get(key)
+    with pytest.raises(ValueError):
+        view[0] = 99.0
+
+
+def test_get_is_zero_copy_view(store):
+    key = store.put(np.arange(8, dtype=np.int64))
+    a = store.get(key)
+    b = store.get(key)
+    # Same shared buffer behind both views.
+    assert a.__array_interface__["data"][0] == b.__array_interface__["data"][0]
+
+
+def test_refcount_release_frees_at_zero(store):
+    key = store.put(np.zeros(100, dtype=np.float32), consumers=2)
+    assert store.release(key) is False
+    assert store.contains(key)
+    assert store.release(key) is True
+    assert not store.contains(key)
+    assert store.bytes_in_use == 0
+
+
+def test_release_unknown_key_raises(store):
+    with pytest.raises(ObjectStoreError):
+        store.release("deadbeef" * 4)
+
+
+def test_get_unknown_key_raises(store):
+    with pytest.raises(ObjectStoreError):
+        store.get("deadbeef" * 4)
+
+
+def test_add_consumers_extends_lifetime(store):
+    key = store.put(np.zeros(10, dtype=np.float32), consumers=1)
+    store.add_consumers(key, 1)
+    assert store.release(key) is False
+    assert store.release(key) is True
+
+
+def test_capacity_enforced():
+    store = SharedMemoryObjectStore(capacity_bytes=100, node="small")
+    try:
+        store.put(np.zeros(10, dtype=np.float32))  # 40 bytes
+        with pytest.raises(ObjectStoreError):
+            store.put(np.zeros(32, dtype=np.float32))  # 128 bytes > remaining
+    finally:
+        store.destroy()
+
+
+def test_accounting_counters(store):
+    k1 = store.put(np.zeros(25, dtype=np.float32))
+    k2 = store.put(np.zeros(25, dtype=np.float32))
+    assert store.object_count == 2
+    assert store.bytes_in_use == 200
+    assert store.total_puts == 2
+    store.release(k1)
+    store.release(k2)
+    assert store.total_frees == 2
+    assert store.object_count == 0
+
+
+def test_size_of(store):
+    key = store.put(np.zeros((3, 3), dtype=np.float64))
+    assert store.size_of(key) == 72
+
+
+def test_non_contiguous_input_is_handled(store):
+    base = np.arange(20, dtype=np.float32).reshape(4, 5)
+    sliced = base[:, ::2]  # non-contiguous
+    key = store.put(sliced)
+    np.testing.assert_array_equal(store.get(key), sliced)
+
+
+def test_context_manager_destroys():
+    with SharedMemoryObjectStore(node="cm") as s:
+        s.put(np.zeros(5, dtype=np.float32))
+        assert s.object_count == 1
+    assert s.object_count == 0
+
+
+def test_invalid_consumers(store):
+    with pytest.raises(ObjectStoreError):
+        store.put(np.zeros(1, dtype=np.float32), consumers=0)

@@ -1,0 +1,125 @@
+"""Sockmap, SKMSG router, metrics map — the eBPF analogues (App. A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import RoutingError
+from repro.runtime.metrics_map import MetricsMap
+from repro.runtime.object_store import SharedMemoryObjectStore
+from repro.runtime.skmsg import SkMsgRouter
+from repro.runtime.sockmap import SockMap
+
+
+class Mailbox:
+    def __init__(self):
+        self.items = []
+
+    def deliver(self, src_id, key, dst_id):
+        self.items.append((src_id, key, dst_id))
+
+
+@pytest.fixture
+def node():
+    store = SharedMemoryObjectStore(node="n1")
+    sockmap = SockMap("n1")
+    metrics = MetricsMap("n1")
+    router = SkMsgRouter(sockmap, metrics, store)
+    yield store, sockmap, metrics, router
+    store.destroy()
+
+
+def test_sockmap_update_lookup_delete():
+    sm = SockMap()
+    mb = Mailbox()
+    sm.update("a1", mb)
+    assert sm.lookup("a1") is mb
+    assert "a1" in sm and len(sm) == 1
+    sm.delete("a1")
+    assert "a1" not in sm
+    with pytest.raises(RoutingError):
+        sm.lookup("a1")
+    with pytest.raises(RoutingError):
+        sm.delete("a1")
+
+
+def test_sockmap_replace_entry_counts_updates():
+    sm = SockMap()
+    sm.update("a1", Mailbox())
+    sm.update("a1", Mailbox())
+    assert sm.update_count == 2
+    assert len(sm) == 1
+
+
+def test_skmsg_routes_by_source_id(node):
+    store, sockmap, metrics, router = node
+    parent = Mailbox()
+    sockmap.update("mid", parent)
+    router.set_route("leaf0", "mid")
+    key = store.put(np.zeros(10, dtype=np.float32))
+    dst = router.send("leaf0", key)
+    assert dst == "mid"
+    assert parent.items == [("leaf0", key, "mid")]
+
+
+def test_skmsg_missing_route_raises(node):
+    _, _, _, router = node
+    with pytest.raises(RoutingError):
+        router.send("ghost", "00" * 16)
+
+
+def test_skmsg_missing_socket_raises(node):
+    _, _, _, router = node
+    router.set_route("leaf0", "mid")  # route exists, socket doesn't
+    with pytest.raises(RoutingError):
+        router.send("leaf0", "00" * 16)
+
+
+def test_skmsg_collects_metrics_on_send(node):
+    store, sockmap, metrics, router = node
+    sockmap.update("mid", Mailbox())
+    router.set_route("leaf0", "mid")
+    key = store.put(np.zeros(100, dtype=np.float32))
+    router.send("leaf0", key)
+    snap = metrics.snapshot("leaf0")
+    assert snap.sends == 1
+    assert snap.bytes_sent == 400
+
+
+def test_route_deletion(node):
+    _, sockmap, _, router = node
+    sockmap.update("mid", Mailbox())
+    router.set_route("leaf0", "mid")
+    router.delete_route("leaf0")
+    with pytest.raises(RoutingError):
+        router.route_of("leaf0")
+    with pytest.raises(RoutingError):
+        router.delete_route("leaf0")
+
+
+def test_metrics_map_exec_times():
+    mm = MetricsMap()
+    mm.on_aggregate("a1", 0.5)
+    mm.on_aggregate("a1", 1.5)
+    snap = mm.snapshot("a1")
+    assert snap.updates_aggregated == 2
+    assert snap.exec_time_mean == pytest.approx(1.0)
+    assert snap.exec_time_last == pytest.approx(1.5)
+
+
+def test_metrics_map_drain_empties():
+    mm = MetricsMap()
+    mm.on_send("a1", 10)
+    drained = mm.drain()
+    assert set(drained) == {"a1"}
+    assert len(mm) == 0
+    assert mm.snapshot("a1").sends == 0  # fresh after drain
+
+
+def test_snapshot_is_a_copy():
+    mm = MetricsMap()
+    mm.on_send("a1", 10)
+    snap = mm.snapshot("a1")
+    snap.sends = 999
+    assert mm.snapshot("a1").sends == 1
