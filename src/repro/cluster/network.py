@@ -69,10 +69,12 @@ class ProcessorSharingLink:
     def _per_flow_rate(self) -> float:
         return self.capacity_bps / len(self._flows)
 
-    #: flows with less than this many bytes left are considered finished —
-    #: sub-byte residue is float noise, and sweeping it eagerly prevents
-    #: zero-length timer loops when timestamps collide
-    _EPSILON_BYTES = 0.5
+    #: flows whose remainder would drain in less than this many seconds at
+    #: the current rate are considered finished — the residue is float
+    #: noise, and sweeping it eagerly prevents zero-length timer loops when
+    #: timestamps collide.  (A time threshold scales with the link rate; a
+    #: fixed byte threshold silently dropped the tail of small transfers.)
+    _EPSILON_SECONDS = 1e-9
 
     def _advance(self) -> None:
         """Drain progress accrued since the last state change."""
@@ -81,13 +83,15 @@ class ProcessorSharingLink:
         self._last_update = now
         if not self._flows:
             return
-        sent = self._per_flow_rate() * dt if dt > 0 else 0.0
+        rate = self._per_flow_rate()
+        sent = rate * dt if dt > 0 else 0.0
+        residue = rate * self._EPSILON_SECONDS
         finished: list[Flow] = []
         for f in self._flows:
             if sent > 0:
                 self.bytes_carried += min(sent, f.remaining)
                 f.remaining -= sent
-            if f.remaining <= self._EPSILON_BYTES:
+            if f.remaining <= residue:
                 finished.append(f)
         for f in finished:
             self._flows.remove(f)

@@ -8,7 +8,7 @@ benchmark measures the estimate path end to end.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
 from repro.controlplane.placement import NodeCapacity

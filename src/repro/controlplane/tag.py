@@ -15,12 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable
 
 import networkx as nx
 
 from repro.common.errors import ConfigError
-from repro.controlplane.hierarchy import HierarchyPlan, Role
+from repro.controlplane.hierarchy import HierarchyPlan
 
 
 class ChannelMechanism(str, Enum):

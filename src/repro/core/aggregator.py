@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Generator, Optional
+from typing import Callable, Generator
 
 from repro.common.errors import SimulationError
 from repro.core.results import InstanceStats

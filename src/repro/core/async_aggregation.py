@@ -21,7 +21,7 @@ only in *when* compute happens, which is what the LIFL platform exploits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.common.errors import ConfigError

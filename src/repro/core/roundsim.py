@@ -18,11 +18,17 @@ What is simulated (vs computed):
 * CPU: every stage bills the hosting node's ledger; reserved-but-idle
   allocations (always-on instances, sidecars, brokers, the gateway's
   stateful tax) are added per the config's reservation rates.
+
+The engine itself is platform-agnostic: ingress serialization/admission,
+aggregator-to-aggregator transfer costs, and instance-lifecycle policy are
+stage objects resolved through the registries in :mod:`repro.core.stages`
+(select variants via ``PlatformConfig.ingress_stage`` /
+``transfer_stage`` / ``lifecycle_stage``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.network import Fabric
 from repro.cluster.node import NodeSpec, WorkerNode
@@ -30,38 +36,20 @@ from repro.common.errors import ConfigError, SimulationError
 from repro.common.eventlog import EventLog
 from repro.controlplane.hierarchy import AggregatorSpec, HierarchyPlan, Role
 from repro.core.aggregator import AggregatorCosts, AggregatorInstance
-from repro.core.platform import IngressKind, PlatformConfig
+from repro.core.platform import PlatformConfig
 from repro.core.results import RoundResult
+from repro.core.stages import (
+    WarmState,
+    resolve_ingress,
+    resolve_lifecycle,
+    resolve_transfer,
+)
 from repro.core.updates import MailboxItem, SimUpdate
 from repro.dataplane.calibration import DEFAULT_CALIBRATION, DataplaneCalibration
-from repro.dataplane.gateway import VerticalScaler
-from repro.dataplane.pipelines import (
-    PipelineKind,
-    inter_node_pipeline,
-    intra_node_pipeline,
-)
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import Environment
 from repro.sim.resources import Resource
 
-
-@dataclass
-class WarmState:
-    """Cross-round warm-runtime pool: node → idle warm instance count."""
-
-    idle: dict[str, int] = field(default_factory=dict)
-
-    def take(self, node: str) -> bool:
-        n = self.idle.get(node, 0)
-        if n > 0:
-            self.idle[node] = n - 1
-            return True
-        return False
-
-    def put(self, node: str, count: int = 1) -> None:
-        self.idle[node] = self.idle.get(node, 0) + count
-
-    def total(self) -> int:
-        return sum(self.idle.values())
+__all__ = ["RoundEngine", "WarmState", "required_leaf_capacity"]
 
 
 @dataclass
@@ -98,67 +86,31 @@ class RoundEngine:
         self.cal = cal
         self.node_names = list(node_names)
         self.node_spec = node_spec or NodeSpec(name="template")
-        self.warm = WarmState()
+        self.ingress = resolve_ingress(config)
+        self.transfer = resolve_transfer(config)
+        self.lifecycle = resolve_lifecycle(config)
+        #: back-compat alias: the warm pool now lives on the lifecycle stage
+        self.warm = self.lifecycle.warm
 
     # ------------------------------------------------------------------ costs
     def _costs_for(self, nbytes: float) -> _CostTable:
         cal = self.cal
         cfg = self.config
-        agg_lat = cal.agg_compute_lat_per_byte * nbytes
-        agg_cpu = cal.agg_compute_cpu_per_byte * nbytes
-        intra = intra_node_pipeline(cfg.pipeline, cal).cost(nbytes)
-        inter = inter_node_pipeline(cfg.pipeline, cal, include_wire=False).cost(nbytes)
-        # Split the inter-node pipeline at the wire: hops before it are
-        # tx-side, after it rx-side.  The split is symmetric enough that
-        # halving the latency/cpu by group keeps totals exact.
-        inter_tx_lat = inter.latency / 2
-        inter_rx_lat = inter.latency - inter_tx_lat
-        inter_tx_cpu = inter.cpu_seconds / 2
-        inter_rx_cpu = inter.cpu_seconds - inter_tx_cpu
-        if cfg.ingress is IngressKind.GATEWAY:
-            ingress_lat = (cal.gateway_rx_lat_per_byte + cal.shm_write_lat_per_byte) * nbytes
-            ingress_cpu = (cal.gateway_rx_cpu_per_byte + cal.shm_write_cpu_per_byte) * nbytes
-            recv_lat = cal.shm_read_lat_per_byte * nbytes + cal.skmsg_fixed_lat
-            recv_cpu = cal.shm_read_cpu_per_byte * nbytes + cal.skmsg_fixed_cpu
-        elif cfg.pipeline is PipelineKind.SERVERFUL:
-            ingress_lat = cal.queuing_sf_broker_lat_per_byte * nbytes + cal.broker_fixed_lat
-            ingress_cpu = cal.queuing_sf_broker_cpu_per_byte * nbytes + cal.broker_fixed_cpu
-            recv_lat = (
-                cal.kernel_wire_side_lat_per_byte
-                + cal.deserialize_lat_per_byte
-                + cal.grpc_lat_per_byte
-            ) * nbytes + cal.kernel_fixed_lat
-            recv_cpu = (
-                cal.kernel_wire_side_cpu_per_byte
-                + cal.deserialize_cpu_per_byte
-                + cal.grpc_cpu_per_byte
-            ) * nbytes + cal.kernel_fixed_cpu
-        else:  # serverless broker + container sidecar on the consumer side
-            ingress_lat = cal.queuing_broker_lat_per_byte * nbytes + cal.broker_fixed_lat
-            ingress_cpu = cal.queuing_broker_cpu_per_byte * nbytes + cal.broker_fixed_cpu
-            recv_lat = (
-                cal.kernel_wire_side_lat_per_byte
-                + cal.sidecar_lat_per_byte
-                + cal.deserialize_lat_per_byte
-            ) * nbytes + cal.sidecar_fixed_lat
-            recv_cpu = (
-                cal.kernel_wire_side_cpu_per_byte
-                + cal.sidecar_cpu_per_byte
-                + cal.deserialize_cpu_per_byte
-            ) * nbytes + cal.sidecar_fixed_cpu
+        ing = self.ingress.costs(cfg, cal, nbytes)
+        xfer = self.transfer.costs(cfg, cal, nbytes)
         return _CostTable(
-            ingress_latency=ingress_lat,
-            ingress_cpu=ingress_cpu,
-            recv_client_latency=recv_lat,
-            recv_client_cpu=recv_cpu,
-            agg_latency=agg_lat,
-            agg_cpu=agg_cpu,
-            intra_latency=intra.latency,
-            intra_cpu=intra.cpu_seconds,
-            inter_tx_latency=inter_tx_lat,
-            inter_tx_cpu=inter_tx_cpu,
-            inter_rx_latency=inter_rx_lat,
-            inter_rx_cpu=inter_rx_cpu,
+            ingress_latency=ing.ingress_latency,
+            ingress_cpu=ing.ingress_cpu,
+            recv_client_latency=ing.recv_latency,
+            recv_client_cpu=ing.recv_cpu,
+            agg_latency=cal.agg_compute_lat_per_byte * nbytes,
+            agg_cpu=cal.agg_compute_cpu_per_byte * nbytes,
+            intra_latency=xfer.intra_latency,
+            intra_cpu=xfer.intra_cpu,
+            inter_tx_latency=xfer.inter_tx_latency,
+            inter_tx_cpu=xfer.inter_tx_cpu,
+            inter_rx_latency=xfer.inter_rx_latency,
+            inter_rx_cpu=xfer.inter_rx_cpu,
         )
 
     # ------------------------------------------------------------------- round
@@ -195,22 +147,9 @@ class RoundEngine:
             fabric.register_node(name)
 
         # -- ingress resources ---------------------------------------------
-        span = max(u.arrival_time for u in updates) - min(u.arrival_time for u in updates)
-        ingress_res: dict[str, Resource] = {}
-        if cfg.ingress is IngressKind.GATEWAY:
-            scaler = VerticalScaler(self.cal, max_cores=cfg.gateway_max_cores)
-            per_node_updates: dict[str, int] = {}
-            for u in updates:
-                per_node_updates[u.node] = per_node_updates.get(u.node, 0) + 1
-            for name in self.node_names:
-                n_up = per_node_updates.get(name, 0)
-                rate_bps = n_up * nbytes / max(span, 1.0)
-                cores = scaler.cores_for_load(rate_bps)
-                ingress_res[name] = Resource(env, capacity=cores)
-        else:
-            shared = Resource(env, capacity=cfg.broker_cores)
-            for name in self.node_names:
-                ingress_res[name] = shared
+        ingress_res: dict[str, Resource] = self.ingress.build_resources(
+            env, cfg, self.cal, self.node_names, updates, nbytes
+        )
 
         # -- instances --------------------------------------------------------
         result = RoundResult(act=0.0, completion_time=0.0, timeline=timeline)
@@ -263,33 +202,10 @@ class RoundEngine:
                 _create(inst)
             inst.deliver(item)
 
-        per_node_created: dict[str, int] = {}
+        self.lifecycle.begin_round()
 
         def _create(inst: AggregatorInstance) -> None:
-            if inst._created:  # noqa: SLF001 - engine owns the instance
-                return
-            reused = cfg.reuse and self.warm.take(inst.node)
-            if not reused and cfg.reuse:
-                # In-round role conversion (§5.3): a finished local
-                # aggregator converts to this higher role with no restart.
-                if finished_on_node.get(inst.node, 0) > 0:
-                    finished_on_node[inst.node] -= 1
-                    reused = True
-            if not reused and cfg.ramp_delay > 0:
-                # Reactive autoscaler ramp: the k-th instance on a node is
-                # only admitted k ramp periods after round start (§2.3's
-                # reactive scaling; models Knative's stepwise scale-up).
-                k = per_node_created.get(inst.node, 0)
-                per_node_created[inst.node] = k + 1
-                delay = max(0.0, k * cfg.ramp_delay - env.now)
-                if delay > 0:
-
-                    def later(_: Event, inst=inst, reused=reused) -> None:
-                        inst.ensure_created(reused=reused)
-
-                    env.timeout(delay).callbacks.append(later)
-                    return
-            inst.ensure_created(reused=reused)
+            self.lifecycle.ensure_created(inst, env, cfg, finished_on_node)
 
         for agg_id, spec in plan.aggregators.items():
             inst = AggregatorInstance(
@@ -386,9 +302,7 @@ class RoundEngine:
         result.cpu_reserved = self._reserved_cpu(result)
 
         # -- warm pool turnover -----------------------------------------------------------
-        if cfg.reuse:
-            for node, _count in _instances_per_node(plan).items():
-                self.warm.put(node, _count)
+        self.lifecycle.end_round(cfg, _instances_per_node(plan))
         return result
 
     def _reserved_cpu(self, result: RoundResult) -> float:
@@ -412,9 +326,10 @@ class RoundEngine:
                     reserved += cfg.warm_idle_reserved_cores * max(
                         0.0, duration - inst.finished_at
                     )
+        # Broker reservation is a config-level knob (zero on gateway
+        # presets); the stage adds its own stateful components' tax.
         reserved += cfg.broker_reserved_cores * duration
-        if cfg.ingress is IngressKind.GATEWAY:
-            reserved += cfg.gateway_reserved_cores * duration * result.nodes_used
+        reserved += self.ingress.reserved_cpu(cfg, duration, result.nodes_used)
         return reserved
 
 

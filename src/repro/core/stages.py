@@ -1,0 +1,428 @@
+"""Pluggable stages of the round engine.
+
+The round engine composes its behaviour from three families of stage
+objects, mirroring how :mod:`repro.dataplane.pipelines` composes hop
+sequences:
+
+* :class:`IngressStage` — how client updates enter a node: the
+  serialization costs of the ingress and consumer-side paths, the admission
+  resources (per-node gateways vs a shared broker), and the reserved-CPU
+  tax of the stateful ingress components;
+* :class:`TransferStage` — how intermediate updates move between
+  aggregators: intra-node and inter-node (tx/rx split) latency and CPU;
+* :class:`LifecycleStage` — when aggregator instances come into existence:
+  cold starts, reactive-scaling ramp admission, warm reuse and in-round
+  role conversion (owns the cross-round warm pool).
+
+Each family has a :class:`StageRegistry`; scenarios register new variants
+under a name and select them via the ``ingress_stage`` / ``transfer_stage``
+/ ``lifecycle_stage`` fields of :class:`~repro.core.platform.PlatformConfig`
+without touching :mod:`repro.core.roundsim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, TypeVar
+
+from repro.common.errors import ConfigError
+from repro.core.platform import IngressKind, PlatformConfig
+from repro.core.updates import SimUpdate
+from repro.dataplane.calibration import DataplaneCalibration
+from repro.dataplane.gateway import VerticalScaler
+from repro.dataplane.pipelines import (
+    PipelineKind,
+    inter_node_pipeline,
+    intra_node_pipeline,
+)
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource
+
+T = TypeVar("T")
+
+
+class StageRegistry(Generic[T]):
+    """Name → stage factory, one registry per stage family."""
+
+    def __init__(self, family: str) -> None:
+        self.family = family
+        self._factories: dict[str, Callable[[], T]] = {}
+
+    def register(self, name: str) -> Callable[[Callable[[], T]], Callable[[], T]]:
+        """Decorator: ``@INGRESS_STAGES.register("gateway")`` on a class or
+        zero-argument factory."""
+        if not name:
+            raise ConfigError(f"{self.family} stage needs a non-empty name")
+
+        def deco(factory: Callable[[], T]) -> Callable[[], T]:
+            if name in self._factories:
+                raise ConfigError(f"{self.family} stage {name!r} already registered")
+            self._factories[name] = factory
+            return factory
+
+        return deco
+
+    def create(self, name: str) -> T:
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown {self.family} stage {name!r}; have {self.names()}"
+            ) from None
+        return factory()
+
+    def names(self) -> list[str]:
+        return sorted(self._factories)
+
+
+# --------------------------------------------------------------------- ingress
+@dataclass(frozen=True)
+class IngressCosts:
+    """Serialization costs of one update entering via this ingress."""
+
+    ingress_latency: float
+    ingress_cpu: float
+    #: consumer-side cost of the aggregator pulling the update in
+    recv_latency: float
+    recv_cpu: float
+
+
+class IngressStage:
+    """How client updates enter a node (Fig. 5's ingress designs)."""
+
+    name = "base"
+
+    def costs(
+        self, cfg: PlatformConfig, cal: DataplaneCalibration, nbytes: float
+    ) -> IngressCosts:
+        raise NotImplementedError
+
+    def build_resources(
+        self,
+        env: Environment,
+        cfg: PlatformConfig,
+        cal: DataplaneCalibration,
+        node_names: list[str],
+        updates: list[SimUpdate],
+        nbytes: float,
+    ) -> dict[str, Resource]:
+        """Admission resources, keyed by node (entries may be shared)."""
+        raise NotImplementedError
+
+    def reserved_cpu(
+        self, cfg: PlatformConfig, duration: float, nodes_used: int
+    ) -> float:
+        """Reserved-but-idle allocation of the stage's stateful components."""
+        return 0.0
+
+
+INGRESS_STAGES: StageRegistry[IngressStage] = StageRegistry("ingress")
+
+
+@INGRESS_STAGES.register("gateway")
+class GatewayIngress(IngressStage):
+    """LIFL: per-node gateway writing into shared memory, vertically scaled
+    to the node's offered load (§4.2)."""
+
+    name = "gateway"
+
+    def costs(
+        self, cfg: PlatformConfig, cal: DataplaneCalibration, nbytes: float
+    ) -> IngressCosts:
+        return IngressCosts(
+            ingress_latency=(cal.gateway_rx_lat_per_byte + cal.shm_write_lat_per_byte)
+            * nbytes,
+            ingress_cpu=(cal.gateway_rx_cpu_per_byte + cal.shm_write_cpu_per_byte)
+            * nbytes,
+            recv_latency=cal.shm_read_lat_per_byte * nbytes + cal.skmsg_fixed_lat,
+            recv_cpu=cal.shm_read_cpu_per_byte * nbytes + cal.skmsg_fixed_cpu,
+        )
+
+    def build_resources(
+        self,
+        env: Environment,
+        cfg: PlatformConfig,
+        cal: DataplaneCalibration,
+        node_names: list[str],
+        updates: list[SimUpdate],
+        nbytes: float,
+    ) -> dict[str, Resource]:
+        span = max(u.arrival_time for u in updates) - min(u.arrival_time for u in updates)
+        scaler = VerticalScaler(cal, max_cores=cfg.gateway_max_cores)
+        per_node_updates: dict[str, int] = {}
+        for u in updates:
+            per_node_updates[u.node] = per_node_updates.get(u.node, 0) + 1
+        out: dict[str, Resource] = {}
+        for name in node_names:
+            n_up = per_node_updates.get(name, 0)
+            rate_bps = n_up * nbytes / max(span, 1.0)
+            out[name] = Resource(env, capacity=scaler.cores_for_load(rate_bps))
+        return out
+
+    def reserved_cpu(
+        self, cfg: PlatformConfig, duration: float, nodes_used: int
+    ) -> float:
+        return cfg.gateway_reserved_cores * duration * nodes_used
+
+
+class _BrokerIngress(IngressStage):
+    """Shared stateful broker in front of every node (SF/SL)."""
+
+    def build_resources(
+        self,
+        env: Environment,
+        cfg: PlatformConfig,
+        cal: DataplaneCalibration,
+        node_names: list[str],
+        updates: list[SimUpdate],
+        nbytes: float,
+    ) -> dict[str, Resource]:
+        shared = Resource(env, capacity=cfg.broker_cores)
+        return {name: shared for name in node_names}
+
+
+@INGRESS_STAGES.register("broker-sf")
+class ServerfulBrokerIngress(_BrokerIngress):
+    """SF: broker queue + gRPC/deserialize consumer path (Fig. 5
+    "Microservice")."""
+
+    name = "broker-sf"
+
+    def costs(
+        self, cfg: PlatformConfig, cal: DataplaneCalibration, nbytes: float
+    ) -> IngressCosts:
+        return IngressCosts(
+            ingress_latency=cal.queuing_sf_broker_lat_per_byte * nbytes
+            + cal.broker_fixed_lat,
+            ingress_cpu=cal.queuing_sf_broker_cpu_per_byte * nbytes
+            + cal.broker_fixed_cpu,
+            recv_latency=(
+                cal.kernel_wire_side_lat_per_byte
+                + cal.deserialize_lat_per_byte
+                + cal.grpc_lat_per_byte
+            )
+            * nbytes
+            + cal.kernel_fixed_lat,
+            recv_cpu=(
+                cal.kernel_wire_side_cpu_per_byte
+                + cal.deserialize_cpu_per_byte
+                + cal.grpc_cpu_per_byte
+            )
+            * nbytes
+            + cal.kernel_fixed_cpu,
+        )
+
+
+@INGRESS_STAGES.register("broker-sl")
+class ServerlessBrokerIngress(_BrokerIngress):
+    """SL: broker queue + container-sidecar consumer path (Fig. 5 "Basic
+    serverless")."""
+
+    name = "broker-sl"
+
+    def costs(
+        self, cfg: PlatformConfig, cal: DataplaneCalibration, nbytes: float
+    ) -> IngressCosts:
+        return IngressCosts(
+            ingress_latency=cal.queuing_broker_lat_per_byte * nbytes
+            + cal.broker_fixed_lat,
+            ingress_cpu=cal.queuing_broker_cpu_per_byte * nbytes
+            + cal.broker_fixed_cpu,
+            recv_latency=(
+                cal.kernel_wire_side_lat_per_byte
+                + cal.sidecar_lat_per_byte
+                + cal.deserialize_lat_per_byte
+            )
+            * nbytes
+            + cal.sidecar_fixed_lat,
+            recv_cpu=(
+                cal.kernel_wire_side_cpu_per_byte
+                + cal.sidecar_cpu_per_byte
+                + cal.deserialize_cpu_per_byte
+            )
+            * nbytes
+            + cal.sidecar_fixed_cpu,
+        )
+
+
+def resolve_ingress(cfg: PlatformConfig) -> IngressStage:
+    """Pick the ingress stage for a config: an explicit ``ingress_stage``
+    key wins; otherwise the paper's mapping from (ingress, pipeline)."""
+    key = cfg.ingress_stage
+    if not key:
+        if cfg.ingress is IngressKind.GATEWAY:
+            key = "gateway"
+        elif cfg.pipeline is PipelineKind.SERVERFUL:
+            key = "broker-sf"
+        else:
+            key = "broker-sl"
+    return INGRESS_STAGES.create(key)
+
+
+# -------------------------------------------------------------------- transfer
+@dataclass(frozen=True)
+class TransferCosts:
+    """Aggregator→aggregator hop costs for one update size."""
+
+    intra_latency: float
+    intra_cpu: float
+    inter_tx_latency: float
+    inter_tx_cpu: float
+    inter_rx_latency: float
+    inter_rx_cpu: float
+
+
+class TransferStage:
+    """How intermediate updates travel between aggregators."""
+
+    name = "base"
+
+    def costs(
+        self, cfg: PlatformConfig, cal: DataplaneCalibration, nbytes: float
+    ) -> TransferCosts:
+        raise NotImplementedError
+
+
+TRANSFER_STAGES: StageRegistry[TransferStage] = StageRegistry("transfer")
+
+
+@TRANSFER_STAGES.register("calibrated")
+class CalibratedTransferStage(TransferStage):
+    """Costs from the calibrated dataplane pipelines of ``cfg.pipeline``."""
+
+    name = "calibrated"
+
+    def costs(
+        self, cfg: PlatformConfig, cal: DataplaneCalibration, nbytes: float
+    ) -> TransferCosts:
+        intra = intra_node_pipeline(cfg.pipeline, cal).cost(nbytes)
+        inter = inter_node_pipeline(cfg.pipeline, cal, include_wire=False).cost(nbytes)
+        # Split the inter-node pipeline at the wire: hops before it are
+        # tx-side, after it rx-side.  The split is symmetric enough that
+        # halving the latency/cpu by group keeps totals exact.
+        inter_tx_lat = inter.latency / 2
+        inter_tx_cpu = inter.cpu_seconds / 2
+        return TransferCosts(
+            intra_latency=intra.latency,
+            intra_cpu=intra.cpu_seconds,
+            inter_tx_latency=inter_tx_lat,
+            inter_tx_cpu=inter_tx_cpu,
+            inter_rx_latency=inter.latency - inter_tx_lat,
+            inter_rx_cpu=inter.cpu_seconds - inter_tx_cpu,
+        )
+
+
+def resolve_transfer(cfg: PlatformConfig) -> TransferStage:
+    return TRANSFER_STAGES.create(cfg.transfer_stage or "calibrated")
+
+
+# ------------------------------------------------------------------- lifecycle
+@dataclass
+class WarmState:
+    """Cross-round warm-runtime pool: node → idle warm instance count."""
+
+    idle: dict[str, int] = field(default_factory=dict)
+
+    def take(self, node: str) -> bool:
+        n = self.idle.get(node, 0)
+        if n > 0:
+            self.idle[node] = n - 1
+            return True
+        return False
+
+    def put(self, node: str, count: int = 1) -> None:
+        self.idle[node] = self.idle.get(node, 0) + count
+
+    def total(self) -> int:
+        return sum(self.idle.values())
+
+
+class LifecycleStage:
+    """When aggregator instances come into existence.
+
+    The stage is engine-lifetime: it keeps cross-round state (the warm
+    pool) and per-round admission counters.  The engine calls
+    :meth:`begin_round` before creating instances, :meth:`ensure_created`
+    whenever an instance must exist (prewarm or first delivery), and
+    :meth:`end_round` after the round settles.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.warm = WarmState()
+
+    def begin_round(self) -> None:
+        raise NotImplementedError
+
+    def ensure_created(
+        self,
+        inst,  # AggregatorInstance; untyped to keep the stage import-light
+        env: Environment,
+        cfg: PlatformConfig,
+        finished_on_node: dict[str, int],
+    ) -> None:
+        raise NotImplementedError
+
+    def end_round(self, cfg: PlatformConfig, instances_per_node: dict[str, int]) -> None:
+        raise NotImplementedError
+
+
+LIFECYCLE_STAGES: StageRegistry[LifecycleStage] = StageRegistry("lifecycle")
+
+
+@LIFECYCLE_STAGES.register("warm-pool")
+class WarmPoolLifecycle(LifecycleStage):
+    """The paper's instance-creation policy: warm-pool reuse and in-round
+    role conversion (§5.3) plus the reactive autoscaler's stepwise ramp
+    admission (§2.3) for configs with ``ramp_delay > 0``."""
+
+    name = "warm-pool"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._per_node_created: dict[str, int] = {}
+
+    def begin_round(self) -> None:
+        self._per_node_created = {}
+
+    def ensure_created(
+        self,
+        inst,
+        env: Environment,
+        cfg: PlatformConfig,
+        finished_on_node: dict[str, int],
+    ) -> None:
+        if inst._created:  # noqa: SLF001 - engine owns the instance
+            return
+        reused = cfg.reuse and self.warm.take(inst.node)
+        if not reused and cfg.reuse:
+            # In-round role conversion (§5.3): a finished local
+            # aggregator converts to this higher role with no restart.
+            if finished_on_node.get(inst.node, 0) > 0:
+                finished_on_node[inst.node] -= 1
+                reused = True
+        if not reused and cfg.ramp_delay > 0:
+            # Reactive autoscaler ramp: the k-th instance on a node is
+            # only admitted k ramp periods after round start (§2.3's
+            # reactive scaling; models Knative's stepwise scale-up).
+            k = self._per_node_created.get(inst.node, 0)
+            self._per_node_created[inst.node] = k + 1
+            delay = max(0.0, k * cfg.ramp_delay - env.now)
+            if delay > 0:
+
+                def later(_: Event, inst=inst, reused=reused) -> None:
+                    inst.ensure_created(reused=reused)
+
+                env.timeout(delay).callbacks.append(later)
+                return
+        inst.ensure_created(reused=reused)
+
+    def end_round(self, cfg: PlatformConfig, instances_per_node: dict[str, int]) -> None:
+        if cfg.reuse:
+            for node, count in instances_per_node.items():
+                self.warm.put(node, count)
+
+
+def resolve_lifecycle(cfg: PlatformConfig) -> LifecycleStage:
+    return LIFECYCLE_STAGES.create(cfg.lifecycle_stage or "warm-pool")

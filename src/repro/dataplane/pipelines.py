@@ -16,7 +16,7 @@ from __future__ import annotations
 from enum import Enum
 
 from repro.common.errors import ConfigError
-from repro.dataplane.broker import broker_hop, serverful_broker_hop
+from repro.dataplane.broker import broker_hop
 from repro.dataplane.calibration import DEFAULT_CALIBRATION, DataplaneCalibration
 from repro.dataplane.gateway import gateway_rx_hop, gateway_tx_hop
 from repro.dataplane.kernel import (

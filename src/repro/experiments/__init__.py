@@ -1,13 +1,37 @@
-"""Experiment harness: one module per paper figure.
+"""Experiment harness: a scenario registry plus a parallel campaign runner.
 
-Every module exposes ``run(...)`` returning structured rows and a
-``main()`` that prints the same rows/series the paper reports.  The
-benchmark suite calls ``run``; ``python -m repro.experiments.figXX`` prints
-a table.  DESIGN.md §3 maps each experiment to its figure.
+Every experiment — the eight paper figures/tables and the non-paper
+scenarios — registers itself with the
+:func:`~repro.scenarios.registry.scenario` decorator: a name, a parameter
+grid, a run function returning JSON rows, and a ``render`` callable that
+turns the collected rows into the report text.  The
+:class:`~repro.scenarios.runner.CampaignRunner` expands each scenario's
+grid into independent runs and executes them sequentially or on a
+``multiprocessing`` pool, with a deterministic seed per run — parallel and
+sequential campaigns print byte-identical reports.
+
+Command line::
+
+    python -m repro.experiments                  # every scenario
+    python -m repro.experiments --list           # catalogue + grids
+    python -m repro.experiments fig08 stress     # prefix match
+    python -m repro.experiments --jobs 4         # parallel campaign
+    python -m repro.experiments --out results/   # also write JSON rows
+
+Registering a new scenario: write a module exposing a run function
+decorated with ``@scenario(name=..., title=..., grid=..., render=...)``,
+import it here so discovery sees it, and it appears in ``--list`` and the
+campaign automatically.  ``run`` receives a
+:class:`~repro.scenarios.registry.ScenarioRun` (grid point + derived seed)
+and returns a list of flat JSON rows; ``render`` receives every run's rows
+concatenated in grid order.
+
+Paper-figure modules also keep their original ``run(...)`` helpers
+returning structured dataclass rows — tests and benchmarks drive those
+directly; DESIGN.md §3 maps each experiment to its figure.
 """
 
-from repro.experiments import (  # noqa: F401
-    capacity,
+from repro.experiments import (  # noqa: F401  (import order = catalogue order)
     fig04_hierarchy_dataplane,
     fig07_dataplane,
     fig08_orchestration,
@@ -15,6 +39,9 @@ from repro.experiments import (  # noqa: F401
     fig10_timeseries,
     fig13_queuing,
     overhead,
+    capacity,
+    mixed_fleet,
+    stress50,
 )
 
 __all__ = [
@@ -25,5 +52,7 @@ __all__ = [
     "fig09_fl_workloads",
     "fig10_timeseries",
     "fig13_queuing",
+    "mixed_fleet",
     "overhead",
+    "stress50",
 ]

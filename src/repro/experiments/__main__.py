@@ -1,53 +1,88 @@
-"""Regenerate every paper table/figure in one run.
+"""Run experiment campaigns from the command line.
 
 Usage::
 
-    python -m repro.experiments            # all figures
-    python -m repro.experiments fig08      # just one (prefix match)
+    python -m repro.experiments                     # all scenarios
+    python -m repro.experiments fig08               # prefix match
+    python -m repro.experiments --list              # show the catalogue
+    python -m repro.experiments --jobs 4            # parallel campaign
+    python -m repro.experiments --seed 7 --out out/ # seed + JSON rows
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
-from repro.experiments import (
-    capacity,
-    fig04_hierarchy_dataplane,
-    fig07_dataplane,
-    fig08_orchestration,
-    fig09_fl_workloads,
-    fig10_timeseries,
-    fig13_queuing,
-    overhead,
-)
+from repro.scenarios.registry import all_scenarios, match_scenarios
+from repro.scenarios.runner import CampaignRunner
 
-_ALL = [
-    ("fig04", fig04_hierarchy_dataplane),
-    ("fig07", fig07_dataplane),
-    ("fig08", fig08_orchestration),
-    ("fig09", fig09_fl_workloads),
-    ("fig10", fig10_timeseries),
-    ("fig13", fig13_queuing),
-    ("overhead", overhead),
-    ("capacity", capacity),
-]
+
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
+def _parse(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run registered scenarios through the campaign runner.",
+    )
+    parser.add_argument(
+        "scenarios",
+        nargs="*",
+        metavar="NAME",
+        help="scenario name prefixes to run (default: all)",
+    )
+    parser.add_argument("--list", action="store_true", help="list scenarios and exit")
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S", help="campaign seed (default 0)"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR", help="also write per-scenario JSON rows"
+    )
+    return parser.parse_args(argv)
+
+
+def _list_catalogue() -> None:
+    print("Registered scenarios:")
+    for spec in all_scenarios():
+        n_runs = len(spec.expand())
+        grid = ", ".join(f"{k}×{len(v)}" for k, v in spec.grid) or "single run"
+        kind = "paper" if spec.paper else "extra"
+        print(f"  {spec.name:<14} [{kind}] {spec.title}")
+        print(f"  {'':<14} runs: {n_runs} ({grid}); workload: {spec.workload}")
 
 
 def main(argv: list[str]) -> int:
-    wanted = argv[1:] if len(argv) > 1 else None
-    ran = 0
-    for name, module in _ALL:
-        if wanted and not any(name.startswith(w) or w.startswith(name) for w in wanted):
-            continue
-        print("=" * 72)
-        print(f"== {name}: {module.__doc__.strip().splitlines()[0]}")
-        print("=" * 72)
-        module.main()
-        print()
-        ran += 1
-    if ran == 0:
-        print(f"no experiment matches {wanted}; have {[n for n, _ in _ALL]}")
+    args = _parse(argv[1:])
+    if args.list:
+        _list_catalogue()
+        return 0
+    specs = match_scenarios(args.scenarios or None)
+    if not specs:
+        have = [s.name for s in all_scenarios()]
+        print(f"no scenario matches {args.scenarios}; have {have}")
         return 2
+    runner = CampaignRunner(jobs=args.jobs, seed=args.seed, out_dir=args.out)
+    campaign = runner.run(specs)
+    for report in campaign.reports:
+        print("=" * 72)
+        print(f"== {report.spec.name}: {report.spec.title}")
+        print("=" * 72)
+        print(report.text)
+        print()
+    if args.out:
+        print(f"JSON rows written to {args.out}/")
     return 0
 
 

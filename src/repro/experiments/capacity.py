@@ -18,6 +18,7 @@ from repro.common.rng import make_rng
 from repro.common.units import RESNET152_BYTES
 from repro.dataplane.calibration import DEFAULT_CALIBRATION, DataplaneCalibration
 from repro.experiments.common import render_table
+from repro.scenarios.registry import ScenarioRun, scenario
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
 from repro.workloads.arrival import poisson_arrivals
@@ -78,16 +79,38 @@ def estimate_mc(points: list[CapacityPoint], inflection_factor: float = 1.5) -> 
     return prev.arrival_rate * prev.mean_exec_time
 
 
-def main() -> None:
-    points = probe_node()
-    print("Appendix E — maximum service capacity probe (ResNet-152)")
-    print(
+def _render(rows: list[dict]) -> str:
+    points = [CapacityPoint(r["arrival_rate"], r["mean_exec_time"]) for r in rows]
+    lines = ["Appendix E — maximum service capacity probe (ResNet-152)"]
+    lines.append(
         render_table(
             ["arrival rate (/s)", "mean E (s)"],
             [(f"{p.arrival_rate:.0f}", f"{p.mean_exec_time:.3f}") for p in points],
         )
     )
-    print(f"\nestimated MC = {estimate_mc(points):.1f} (testbed value in the paper: 20)")
+    lines.append(f"\nestimated MC = {estimate_mc(points):.1f} (testbed value in the paper: 20)")
+    return "\n".join(lines)
+
+
+@scenario(
+    name="capacity",
+    title="estimating a node's maximum service capacity MC_i",
+    render=_render,
+    workload="Poisson arrival sweep on one simulated node",
+    metrics=("mean_exec_time",),
+)
+def capacity_scenario(run_spec: ScenarioRun) -> list[dict]:
+    """Appendix E: one rate sweep per run."""
+    return [
+        {"arrival_rate": p.arrival_rate, "mean_exec_time": p.mean_exec_time}
+        for p in probe_node()
+    ]
+
+
+def main() -> None:
+    from repro.scenarios.runner import run_scenario
+
+    print(run_scenario("capacity").text)
 
 
 if __name__ == "__main__":

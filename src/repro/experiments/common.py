@@ -34,5 +34,8 @@ def _fmt(cell: object) -> str:
 
 
 def ratio(a: float, b: float) -> float:
-    """a/b with a guard for degenerate denominators."""
-    return a / b if b else float("inf")
+    """a/b with a guard for degenerate denominators: 0/0 is 0 (no signal),
+    nonzero/0 is +inf."""
+    if b:
+        return a / b
+    return 0.0 if a == 0 else float("inf")

@@ -19,6 +19,7 @@ from repro.core.results import RoundResult
 from repro.core.roundsim import RoundEngine
 from repro.core.updates import SimUpdate
 from repro.experiments.common import render_table
+from repro.scenarios.registry import ScenarioRun, scenario
 
 #: trainer local-epoch time for ResNet-152 on the testbed's trainer nodes
 TRAIN_MEAN_S = 34.0
@@ -69,38 +70,73 @@ class Fig4Row:
     result: RoundResult
 
 
+SETTINGS = ("NH (kernel)", "WH (kernel)", "WH (LIFL)")
+PAPER_SECONDS = {"NH (kernel)": 59.8, "WH (kernel)": 57.0, "WH (LIFL)": 44.9}
+
+
+def _setting(name: str) -> tuple[PlatformConfig, HierarchyPlan]:
+    if name == "NH (kernel)":
+        return PlatformConfig.serverful(instances=1), _nh_plan()
+    if name == "WH (kernel)":
+        return PlatformConfig.serverful(instances=5), _wh_plan()
+    if name == "WH (LIFL)":
+        return PlatformConfig.lifl(prewarm=True), _wh_plan()
+    raise ValueError(f"unknown fig04 setting {name!r}")
+
+
+def run_setting(name: str, seed: int = 0) -> Fig4Row:
+    cfg, plan = _setting(name)
+    engine = RoundEngine(cfg, ["node0"])
+    result = engine.run_round(_updates(_arrivals(seed)), plan, include_eval=True)
+    return Fig4Row(setting=name, round_seconds=result.completion_time, result=result)
+
+
 def run(seed: int = 0) -> list[Fig4Row]:
     """Three settings: NH (kernel), WH (kernel), WH on LIFL's data plane."""
-    times = _arrivals(seed)
-    rows = []
-    settings = [
-        ("NH (kernel)", PlatformConfig.serverful(instances=1), _nh_plan()),
-        ("WH (kernel)", PlatformConfig.serverful(instances=5), _wh_plan()),
-        ("WH (LIFL)", PlatformConfig.lifl(prewarm=True), _wh_plan()),
-    ]
-    for name, cfg, plan in settings:
-        engine = RoundEngine(cfg, ["node0"])
-        result = engine.run_round(_updates(times), plan, include_eval=True)
-        rows.append(Fig4Row(setting=name, round_seconds=result.completion_time, result=result))
-    return rows
+    return [run_setting(name, seed) for name in SETTINGS]
+
+
+def _render(rows: list[dict]) -> str:
+    lines = ["Fig. 4 / Fig. 7(c) — per-round time, 8 trainers, ResNet-152, one node"]
+    lines.append(
+        render_table(
+            ["setting", "round (s)", "paper (s)"],
+            [(r["setting"], r["round_seconds"], r["paper_s"]) for r in rows],
+        )
+    )
+    lifl = next(r for r in rows if r["setting"] == "WH (LIFL)")
+    lines.append("")
+    lines.append("WH (LIFL) timeline (N=network, A=agg, E=eval, C=coldstart):")
+    lines.append(lifl["timeline"])
+    return "\n".join(lines)
+
+
+@scenario(
+    name="fig04",
+    title="hierarchical aggregation barely helps on a kernel data plane",
+    grid={"setting": SETTINGS},
+    render=_render,
+    workload="8 trainers, ResNet-152, one node",
+    metrics=("round_seconds",),
+)
+def fig04_scenario(run_spec: ScenarioRun) -> list[dict]:
+    """Fig. 4 / Fig. 7(c): one (setting,) grid point per run."""
+    setting = run_spec.params["setting"]
+    row = run_setting(setting, seed=0)
+    out: dict[str, object] = {
+        "setting": row.setting,
+        "round_seconds": row.round_seconds,
+        "paper_s": PAPER_SECONDS[setting],
+    }
+    if setting == "WH (LIFL)":
+        out["timeline"] = row.result.timeline.render_ascii(width=64)
+    return [out]
 
 
 def main() -> None:
-    rows = run()
-    print("Fig. 4 / Fig. 7(c) — per-round time, 8 trainers, ResNet-152, one node")
-    print(
-        render_table(
-            ["setting", "round (s)", "paper (s)"],
-            [
-                (rows[0].setting, rows[0].round_seconds, 59.8),
-                (rows[1].setting, rows[1].round_seconds, 57.0),
-                (rows[2].setting, rows[2].round_seconds, 44.9),
-            ],
-        )
-    )
-    print()
-    print("WH (LIFL) timeline (N=network, A=agg, E=eval, C=coldstart):")
-    print(rows[2].result.timeline.render_ascii(width=64))
+    from repro.scenarios.runner import run_scenario
+
+    print(run_scenario("fig04").text)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ from repro.common.units import (
 from repro.dataplane.calibration import DEFAULT_CALIBRATION, DataplaneCalibration
 from repro.dataplane.pipelines import PipelineKind, intra_node_pipeline
 from repro.experiments.common import render_table
+from repro.scenarios.registry import ScenarioRun, scenario
 
 MODELS = [
     ("ResNet-18", RESNET18_BYTES),
@@ -77,37 +78,66 @@ def headline_ratios(rows: list[Fig7Row]) -> dict[str, float]:
     }
 
 
-def main() -> None:
-    rows = run()
-    print("Fig. 7(a)/(b) — single intra-node model-update transfer")
+def _render(rows: list[dict]) -> str:
+    lines = ["Fig. 7(a)/(b) — single intra-node model-update transfer"]
     table = []
     for r in rows:
-        paper_lat = PAPER_LIFL_LATENCY.get(r.model) if r.system == "LIFL" else None
-        paper_gc = PAPER_LIFL_GCYCLES.get(r.model) if r.system == "LIFL" else None
+        paper_lat = PAPER_LIFL_LATENCY.get(r["model"]) if r["system"] == "LIFL" else None
+        paper_gc = PAPER_LIFL_GCYCLES.get(r["model"]) if r["system"] == "LIFL" else None
         table.append(
             (
-                r.model,
-                r.system,
-                f"{r.latency_s:.3f}",
+                r["model"],
+                r["system"],
+                f"{r['latency_s']:.3f}",
                 f"{paper_lat:.2f}" if paper_lat else "-",
-                f"{r.gcycles:.2f}",
+                f"{r['gcycles']:.2f}",
                 f"{paper_gc:.2f}" if paper_gc else "-",
-                f"{r.sidecar_share_s:.3f}" if r.sidecar_share_s else "-",
-                f"{r.broker_share_s:.3f}" if r.broker_share_s else "-",
+                f"{r['sidecar_share_s']:.3f}" if r["sidecar_share_s"] else "-",
+                f"{r['broker_share_s']:.3f}" if r["broker_share_s"] else "-",
             )
         )
-    print(
+    lines.append(
         render_table(
             ["model", "system", "lat (s)", "paper", "Gcycles", "paper", "+SC (s)", "+MB (s)"],
             table,
         )
     )
-    ratios = headline_ratios(rows)
-    print(
+    ratios = headline_ratios([Fig7Row(**r) for r in rows])
+    lines.append(
         f"\nResNet-152 latency ratios: SF/LIFL = {ratios['sf_over_lifl']:.1f}x "
         f"(paper 3x), SL/LIFL = {ratios['sl_over_lifl']:.1f}x (paper 5.8x), "
         f"SL/SF = {ratios['sl_over_sf']:.1f}x (paper 2x)"
     )
+    return "\n".join(lines)
+
+
+@scenario(
+    name="fig07",
+    title="data-plane improvement for hierarchical aggregation",
+    render=_render,
+    workload="single intra-node transfer, ResNet-18/34/152",
+    metrics=("latency_s", "gcycles"),
+)
+def fig07_scenario(run_spec: ScenarioRun) -> list[dict]:
+    """Fig. 7(a)/(b): pure cost-model evaluation, one run."""
+    return [
+        {
+            "model": r.model,
+            "nbytes": r.nbytes,
+            "system": r.system,
+            "latency_s": r.latency_s,
+            "gcycles": r.gcycles,
+            "sidecar_share_s": r.sidecar_share_s,
+            "broker_share_s": r.broker_share_s,
+        }
+        for r in run()
+    ]
+
+
+def main() -> None:
+    from repro.scenarios.runner import run_scenario
+
+    print(run_scenario("fig07").text)
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from repro.common.rng import make_rng
 from repro.common.units import RESNET152_BYTES
 from repro.core.platform import AggregationPlatform, PlatformConfig
 from repro.experiments.common import render_table
+from repro.scenarios.registry import ScenarioRun, scenario
 from repro.workloads.arrival import concurrent_arrivals
 
 BATCHES = (20, 60, 100)
@@ -57,31 +58,35 @@ class Fig8Row:
     nodes_used: int
 
 
+def run_cell(config: str, batch: int, seed: int = 1, steady_state: bool = True) -> Fig8Row:
+    """One (configuration, batch-size) cell of Fig. 8."""
+    cfg = dict(CONFIGS)[config]
+    platform = AggregationPlatform(cfg)
+    arrivals = [
+        (t, 1.0)
+        for t in concurrent_arrivals(batch, jitter=ARRIVAL_JITTER_S, rng=make_rng(seed, "jit"))
+    ]
+    result = platform.run_round(arrivals, RESNET152_BYTES, include_eval=False)
+    if steady_state:
+        # Measure the second identical round so reuse (③) operates
+        # with a stocked warm pool.
+        result = platform.run_round(arrivals, RESNET152_BYTES, include_eval=False)
+    return Fig8Row(
+        config=config,
+        batch=batch,
+        act_s=result.act,
+        cpu_s=result.cpu_total,
+        aggregators_created=result.aggregators_created,
+        nodes_used=result.nodes_used,
+    )
+
+
 def run(seed: int = 1, steady_state: bool = True) -> list[Fig8Row]:
-    rows: list[Fig8Row] = []
-    for name, cfg in CONFIGS:
-        for batch in BATCHES:
-            platform = AggregationPlatform(cfg)
-            arrivals = [
-                (t, 1.0)
-                for t in concurrent_arrivals(batch, jitter=ARRIVAL_JITTER_S, rng=make_rng(seed, "jit"))
-            ]
-            result = platform.run_round(arrivals, RESNET152_BYTES, include_eval=False)
-            if steady_state:
-                # Measure the second identical round so reuse (③) operates
-                # with a stocked warm pool.
-                result = platform.run_round(arrivals, RESNET152_BYTES, include_eval=False)
-            rows.append(
-                Fig8Row(
-                    config=name,
-                    batch=batch,
-                    act_s=result.act,
-                    cpu_s=result.cpu_total,
-                    aggregators_created=result.aggregators_created,
-                    nodes_used=result.nodes_used,
-                )
-            )
-    return rows
+    return [
+        run_cell(name, batch, seed=seed, steady_state=steady_state)
+        for name, _ in CONFIGS
+        for batch in BATCHES
+    ]
 
 
 def act_ratio(rows: list[Fig8Row], a: str, b: str, batch: int) -> float:
@@ -90,26 +95,63 @@ def act_ratio(rows: list[Fig8Row], a: str, b: str, batch: int) -> float:
     return ra.act_s / rb.act_s
 
 
-def main() -> None:
-    rows = run()
-    print("Fig. 8 — orchestration ablation (5 nodes, MC=20, ResNet-152)")
-    print(
+def _render(rows: list[dict]) -> str:
+    typed = [Fig8Row(**r) for r in rows]
+    lines = ["Fig. 8 — orchestration ablation (5 nodes, MC=20, ResNet-152)"]
+    lines.append(
         render_table(
             ["config", "batch", "ACT (s)", "CPU (s)", "# created", "# nodes"],
             [
-                (r.config, r.batch, f"{r.act_s:.1f}", f"{r.cpu_s:.0f}", r.aggregators_created, r.nodes_used)
+                (
+                    r["config"],
+                    r["batch"],
+                    f"{r['act_s']:.1f}",
+                    f"{r['cpu_s']:.0f}",
+                    r["aggregators_created"],
+                    r["nodes_used"],
+                )
                 for r in rows
             ],
         )
     )
-    print(
-        f"\nACT ratios at 20 updates: SL-H/+1 = {act_ratio(rows, 'SL-H', '+1', 20):.2f}x "
-        f"(paper 2.1x); at 60: {act_ratio(rows, 'SL-H', '+1', 60):.2f}x (paper 1.13x)"
+    lines.append(
+        f"\nACT ratios at 20 updates: SL-H/+1 = {act_ratio(typed, 'SL-H', '+1', 20):.2f}x "
+        f"(paper 2.1x); at 60: {act_ratio(typed, 'SL-H', '+1', 60):.2f}x (paper 1.13x)"
     )
-    print(
-        f"+1 over +1+2+3 = {act_ratio(rows, '+1', '+1+2+3', 20):.2f}x (paper ~1.22x); "
-        f"lazy over eager = {act_ratio(rows, '+1+2+3', '+1+2+3+4', 20):.2f}x (paper ~1.2x)"
+    lines.append(
+        f"+1 over +1+2+3 = {act_ratio(typed, '+1', '+1+2+3', 20):.2f}x (paper ~1.22x); "
+        f"lazy over eager = {act_ratio(typed, '+1+2+3', '+1+2+3+4', 20):.2f}x (paper ~1.2x)"
     )
+    return "\n".join(lines)
+
+
+@scenario(
+    name="fig08",
+    title="LIFL's orchestration improvements, step by step",
+    grid={"config": tuple(name for name, _ in CONFIGS), "batch": BATCHES},
+    render=_render,
+    workload="5 nodes, MC=20, ResNet-152, batches 20/60/100",
+    metrics=("act_s", "cpu_s", "aggregators_created", "nodes_used"),
+)
+def fig08_scenario(run_spec: ScenarioRun) -> list[dict]:
+    """Fig. 8: one (configuration, batch) ablation cell per run."""
+    row = run_cell(run_spec.params["config"], run_spec.params["batch"])
+    return [
+        {
+            "config": row.config,
+            "batch": row.batch,
+            "act_s": row.act_s,
+            "cpu_s": row.cpu_s,
+            "aggregators_created": row.aggregators_created,
+            "nodes_used": row.nodes_used,
+        }
+    ]
+
+
+def main() -> None:
+    from repro.scenarios.runner import run_scenario
+
+    print(run_scenario("fig08").text)
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from repro.core.rounds import FLWorkloadConfig, run_fl_workload
 from repro.experiments.common import render_table
 from repro.fl.convergence import curve_for
 from repro.fl.model import model_spec
+from repro.scenarios.registry import ScenarioRun, scenario
 from repro.workloads.fedscale import MOBILE_PROFILE, SERVER_PROFILE, make_population
 
 
@@ -68,9 +69,14 @@ def platforms_for(setup: WorkloadSetup) -> list[tuple[str, AggregationPlatform]]
     ]
 
 
-def run(setup: WorkloadSetup, seed: int = 5, max_rounds: int | None = None) -> dict[str, WorkloadResult]:
-    """All three systems through the same workload; returns per-system
-    results keyed "LIFL"/"SF"/"SL"."""
+SETUPS = {"ResNet-18": RESNET18_SETUP, "ResNet-152": RESNET152_SETUP}
+SYSTEMS = ("LIFL", "SF", "SL")
+
+
+def run_system(
+    setup: WorkloadSetup, system: str, seed: int = 5, max_rounds: int | None = None
+) -> WorkloadResult:
+    """One (setup, system) cell: the full FL workload on one platform."""
     spec = model_spec(setup.model)
     profile = MOBILE_PROFILE if setup.mobile else SERVER_PROFILE
     population = make_population(setup.population, spec, profile, seed=0)
@@ -82,10 +88,17 @@ def run(setup: WorkloadSetup, seed: int = 5, max_rounds: int | None = None) -> d
         rounds=max_rounds or setup.max_rounds,
         stop_at_target=True,
     )
-    out: dict[str, WorkloadResult] = {}
-    for name, platform in platforms_for(setup):
-        out[name] = run_fl_workload(platform, population, wl, make_rng(seed, name))
-    return out
+    platform = next(p for name, p in platforms_for(setup) if name == system)
+    return run_fl_workload(platform, population, wl, make_rng(seed, system))
+
+
+def run(setup: WorkloadSetup, seed: int = 5, max_rounds: int | None = None) -> dict[str, WorkloadResult]:
+    """All three systems through the same workload; returns per-system
+    results keyed "LIFL"/"SF"/"SL"."""
+    return {
+        name: run_system(setup, name, seed=seed, max_rounds=max_rounds)
+        for name in SYSTEMS
+    }
 
 
 PAPER = {
@@ -94,31 +107,58 @@ PAPER = {
 }
 
 
-def main() -> None:
-    for setup in (RESNET18_SETUP, RESNET152_SETUP):
-        results = run(setup)
-        print(f"Fig. 9 — {setup.tag}: time/cost to 70% accuracy")
-        rows = []
-        for name, res in results.items():
-            tta = res.time_to_accuracy(0.70)
-            cta = res.cost_to_accuracy(0.70)
-            paper_tta, paper_cta = PAPER[setup.tag][name]
-            rows.append(
+def _render(rows: list[dict]) -> str:
+    lines = []
+    for tag in SETUPS:
+        lines.append(f"Fig. 9 — {tag}: time/cost to 70% accuracy")
+        table = []
+        for r in (r for r in rows if r["setup"] == tag):
+            paper_tta, paper_cta = PAPER[tag][r["system"]]
+            table.append(
                 (
-                    name,
-                    f"{tta / 3600:.2f}" if tta else "n/a",
+                    r["system"],
+                    f"{r['tta_s'] / 3600:.2f}" if r["tta_s"] else "n/a",
                     f"{paper_tta:.2f}",
-                    f"{cta / 3600:.2f}" if cta else "n/a",
+                    f"{r['cta_s'] / 3600:.2f}" if r["cta_s"] else "n/a",
                     f"{paper_cta:.2f}",
-                    res.rounds,
+                    r["rounds"],
                 )
             )
-        print(
-            render_table(
-                ["system", "tta (h)", "paper", "CPU (h)", "paper", "rounds"], rows
-            )
+        lines.append(
+            render_table(["system", "tta (h)", "paper", "CPU (h)", "paper", "rounds"], table)
         )
-        print()
+        lines.append("")
+    return "\n".join(lines)
+
+
+@scenario(
+    name="fig09",
+    title="time-to-accuracy and cost-to-accuracy for real FL workloads",
+    grid={"setup": tuple(SETUPS), "system": SYSTEMS},
+    render=_render,
+    workload="FedScale-like populations, ResNet-18 mobile / ResNet-152 server",
+    metrics=("tta_s", "cta_s", "rounds"),
+)
+def fig09_scenario(run_spec: ScenarioRun) -> list[dict]:
+    """Fig. 9: one (setup, system) full FL run per grid point."""
+    setup = SETUPS[run_spec.params["setup"]]
+    system = run_spec.params["system"]
+    res = run_system(setup, system)
+    return [
+        {
+            "setup": setup.tag,
+            "system": system,
+            "tta_s": res.time_to_accuracy(0.70),
+            "cta_s": res.cost_to_accuracy(0.70),
+            "rounds": res.rounds,
+        }
+    ]
+
+
+def main() -> None:
+    from repro.scenarios.runner import run_scenario
+
+    print(run_scenario("fig09").text)
 
 
 if __name__ == "__main__":

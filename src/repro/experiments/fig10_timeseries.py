@@ -18,9 +18,22 @@ from repro.experiments.common import render_table
 from repro.experiments.fig09_fl_workloads import (
     RESNET18_SETUP,
     RESNET152_SETUP,
+    SETUPS,
+    SYSTEMS,
     WorkloadSetup,
     run as run_fig09,
+    run_system,
 )
+from repro.scenarios.registry import ScenarioRun, scenario
+
+__all__ = [
+    "RESNET18_SETUP",
+    "RESNET152_SETUP",
+    "SeriesPoint",
+    "extract_series",
+    "run",
+    "summarize",
+]
 
 
 @dataclass
@@ -62,17 +75,56 @@ def summarize(series: dict[str, list[SeriesPoint]]) -> list[tuple]:
     return rows
 
 
-def main() -> None:
-    for setup in (RESNET18_SETUP, RESNET152_SETUP):
-        series = run(setup, max_rounds=30)
-        print(f"Fig. 10 — {setup.tag} (first 30 rounds)")
-        print(
+def _render(rows: list[dict]) -> str:
+    lines = []
+    for tag in SETUPS:
+        lines.append(f"Fig. 10 — {tag} (first 30 rounds)")
+        lines.append(
             render_table(
                 ["system", "arrivals/min", "active aggs (mean)", "CPU/round (s)"],
-                summarize(series),
+                [
+                    (r["system"], r["arrivals_per_min"], r["active_aggs"], r["cpu_per_round"])
+                    for r in rows
+                    if r["setup"] == tag
+                ],
             )
         )
-        print()
+        lines.append("")
+    return "\n".join(lines)
+
+
+@scenario(
+    name="fig10",
+    title="time series of arrival rate, active aggregators, CPU/round",
+    grid={"setup": tuple(SETUPS), "system": SYSTEMS},
+    render=_render,
+    workload="Fig. 9 workloads, first 30 rounds",
+    metrics=("arrivals_per_min", "active_aggs", "cpu_per_round"),
+)
+def fig10_scenario(run_spec: ScenarioRun) -> list[dict]:
+    """Fig. 10: per-(setup, system) series means over the first 30 rounds."""
+    setup = SETUPS[run_spec.params["setup"]]
+    system = run_spec.params["system"]
+    points = extract_series(run_system(setup, system, max_rounds=30))
+    summary = summarize({system: points})
+    if not summary:
+        return []
+    name, rate, active, cpu = summary[0]
+    return [
+        {
+            "setup": setup.tag,
+            "system": name,
+            "arrivals_per_min": rate,
+            "active_aggs": active,
+            "cpu_per_round": cpu,
+        }
+    ]
+
+
+def main() -> None:
+    from repro.scenarios.runner import run_scenario
+
+    print(run_scenario("fig10").text)
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from repro.common.units import RESNET18_BYTES, RESNET34_BYTES, RESNET152_BYTES
 from repro.dataplane.calibration import DEFAULT_CALIBRATION, DataplaneCalibration
 from repro.dataplane.pipelines import QueuingDesign, queuing_pipeline
 from repro.experiments.common import render_table
+from repro.scenarios.registry import ScenarioRun, scenario
 
 MODELS = [("M1 (R18)", RESNET18_BYTES), ("M2 (R34)", RESNET34_BYTES), ("M3 (R152)", RESNET152_BYTES)]
 DESIGNS = [
@@ -70,17 +71,19 @@ def ratios_at_m3(rows: list[Fig13Row]) -> dict[str, float]:
     }
 
 
-def main() -> None:
-    rows = run()
-    print("Fig. 13 — message-queuing overheads (client → aggregator)")
-    print(
+def _render(rows: list[dict]) -> str:
+    lines = ["Fig. 13 — message-queuing overheads (client → aggregator)"]
+    lines.append(
         render_table(
             ["model", "design", "CPU (s)", "mem (copies)", "delay (s)"],
-            [(r.model, r.design, f"{r.cpu_s:.2f}", r.memory_copies, f"{r.delay_s:.2f}") for r in rows],
+            [
+                (r["model"], r["design"], f"{r['cpu_s']:.2f}", r["memory_copies"], f"{r['delay_s']:.2f}")
+                for r in rows
+            ],
         )
     )
-    k = ratios_at_m3(rows)
-    print(
+    k = ratios_at_m3([Fig13Row(**r) for r in rows])
+    lines.append(
         f"\nAt M3: LIFL CPU is {k['cpu_slb_over_lifl']:.1f}x / "
         f"{k['cpu_sfmicro_over_lifl']:.1f}x less than SL-B / SF-micro "
         f"(paper ~1.5x / ~1.9x); delay {k['delay_slb_over_lifl']:.1f}x / "
@@ -88,6 +91,34 @@ def main() -> None:
         f"SL-B memory = {k['mem_slb_over_mono']:.0f}x SF-mono (paper 3x); "
         f"LIFL delay = {k['lifl_vs_mono_delay']:.2f}x SF-mono (paper ≈ 1x)."
     )
+    return "\n".join(lines)
+
+
+@scenario(
+    name="fig13",
+    title="message-queuing overheads of the Fig. 5 designs",
+    render=_render,
+    workload="one update, client → aggregator, M1/M2/M3",
+    metrics=("cpu_s", "memory_copies", "delay_s"),
+)
+def fig13_scenario(run_spec: ScenarioRun) -> list[dict]:
+    """Fig. 13 / Appendix F: pure cost-model evaluation, one run."""
+    return [
+        {
+            "model": r.model,
+            "design": r.design,
+            "cpu_s": r.cpu_s,
+            "memory_copies": r.memory_copies,
+            "delay_s": r.delay_s,
+        }
+        for r in run()
+    ]
+
+
+def main() -> None:
+    from repro.scenarios.runner import run_scenario
+
+    print(run_scenario("fig13").text)
 
 
 if __name__ == "__main__":

@@ -16,7 +16,7 @@ from __future__ import annotations
 import queue
 import threading
 from pathlib import Path
-from typing import Mapping, Optional
+from typing import Mapping
 
 import numpy as np
 

@@ -22,7 +22,6 @@ import secrets
 import threading
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Optional
 
 import numpy as np
 

@@ -1,0 +1,42 @@
+"""Scenario registry + campaign runner.
+
+``repro.scenarios`` is the experiment harness's spine: scenarios register
+themselves with the :func:`~repro.scenarios.registry.scenario` decorator,
+and the :class:`~repro.scenarios.runner.CampaignRunner` expands, executes
+(optionally in parallel) and reports them.  See
+``python -m repro.experiments --list`` for the catalogue.
+"""
+
+from repro.scenarios.registry import (  # noqa: F401
+    ScenarioRun,
+    ScenarioSpec,
+    all_scenarios,
+    derive_seed,
+    discover,
+    get_scenario,
+    match_scenarios,
+    scenario,
+)
+from repro.scenarios.runner import (  # noqa: F401
+    CampaignResult,
+    CampaignRunner,
+    RunRecord,
+    ScenarioReport,
+    run_scenario,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "RunRecord",
+    "ScenarioReport",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "all_scenarios",
+    "derive_seed",
+    "discover",
+    "get_scenario",
+    "match_scenarios",
+    "run_scenario",
+    "scenario",
+]

@@ -1,0 +1,207 @@
+"""The campaign runner: expand scenarios into runs, execute, report.
+
+One engine-warm path for every benchmark and sweep: the runner expands
+each :class:`~repro.scenarios.registry.ScenarioSpec` into its grid of
+runs, executes them sequentially or on a ``multiprocessing`` pool
+(``jobs > 1``), and renders per-scenario reports from the collected rows.
+
+Determinism: runs are seeded from ``(campaign_seed, scenario, index)``
+before dispatch, results are reassembled in expansion order, and tables
+are rendered in the parent from the structured rows — so a parallel
+campaign's report is byte-identical to the sequential one (for scenarios
+whose rows are themselves deterministic; wall-clock-measuring scenarios
+like ``overhead`` vary run to run by nature).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.common.errors import ConfigError
+from repro.experiments.common import render_table
+from repro.scenarios.registry import (
+    ScenarioRun,
+    ScenarioSpec,
+    discover,
+    get_scenario,
+)
+
+
+@dataclass
+class RunRecord:
+    """One executed run: its grid point plus the rows it produced."""
+
+    scenario: str
+    index: int
+    params: dict
+    seed: int
+    rows: list[dict]
+
+
+@dataclass
+class ScenarioReport:
+    """All runs of one scenario, plus the rendered report text."""
+
+    spec: ScenarioSpec
+    records: list[RunRecord]
+    text: str
+
+    @property
+    def rows(self) -> list[dict]:
+        return [row for rec in self.records for row in rec.rows]
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced, in scenario order."""
+
+    seed: int
+    jobs: int
+    reports: list[ScenarioReport] = field(default_factory=list)
+
+    def report_for(self, name: str) -> ScenarioReport:
+        for rep in self.reports:
+            if rep.spec.name == name:
+                return rep
+        raise ConfigError(f"campaign has no scenario {name!r}")
+
+
+def _execute_payload(payload: tuple[str, int, dict, int, int]) -> RunRecord:
+    """Worker entry point: look the scenario up (re-discovering in spawned
+    interpreters) and run one grid point."""
+    scenario_name, index, params, seed, campaign_seed = payload
+    discover()
+    spec = get_scenario(scenario_name)
+    run = ScenarioRun(
+        scenario=scenario_name,
+        index=index,
+        params=params,
+        seed=seed,
+        campaign_seed=campaign_seed,
+    )
+    rows = spec.run(run)
+    _check_rows(scenario_name, rows)
+    return RunRecord(
+        scenario=scenario_name, index=index, params=dict(params), seed=seed, rows=rows
+    )
+
+
+def _check_rows(name: str, rows: list[dict]) -> None:
+    if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
+        raise ConfigError(f"scenario {name!r} must return a list of row dicts")
+    try:
+        json.dumps(rows)
+    except TypeError as exc:
+        raise ConfigError(f"scenario {name!r} returned non-JSON rows: {exc}") from exc
+
+
+def default_render(spec: ScenarioSpec, rows: list[dict]) -> str:
+    """Fallback report: one table over the union of row keys."""
+    if not rows:
+        return f"{spec.name}: no rows"
+    headers: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    return render_table(headers, [[row.get(h, "") for h in headers] for row in rows])
+
+
+class CampaignRunner:
+    """Expand → execute (maybe in parallel) → render → persist."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        seed: int = 0,
+        out_dir: str | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.seed = seed
+        self.out_dir = out_dir
+
+    # ---------------------------------------------------------------- expand
+    def expand(self, specs: Sequence[ScenarioSpec]) -> list[ScenarioRun]:
+        """The campaign's full run list, in scenario declaration order."""
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate scenarios in campaign: {names}")
+        runs: list[ScenarioRun] = []
+        for spec in specs:
+            runs.extend(spec.expand(self.seed))
+        return runs
+
+    # --------------------------------------------------------------- execute
+    def run(self, specs: Sequence[ScenarioSpec]) -> CampaignResult:
+        runs = self.expand(specs)
+        payloads = [
+            (r.scenario, r.index, dict(r.params), r.seed, r.campaign_seed) for r in runs
+        ]
+        if self.jobs > 1 and len(payloads) > 1:
+            records = self._run_parallel(payloads)
+        else:
+            records = [_execute_payload(p) for p in payloads]
+        by_scenario: dict[str, list[RunRecord]] = {}
+        for rec in records:
+            by_scenario.setdefault(rec.scenario, []).append(rec)
+        result = CampaignResult(seed=self.seed, jobs=self.jobs)
+        for spec in specs:
+            recs = sorted(by_scenario.get(spec.name, []), key=lambda r: r.index)
+            rows = [row for rec in recs for row in rec.rows]
+            text = spec.render(rows) if spec.render else default_render(spec, rows)
+            result.reports.append(ScenarioReport(spec=spec, records=recs, text=text))
+        if self.out_dir:
+            self.write_json(result)
+        return result
+
+    def _run_parallel(self, payloads: list[tuple]) -> list[RunRecord]:
+        # fork keeps the already-populated registry; spawned workers
+        # re-discover it inside _execute_payload.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        with ctx.Pool(processes=min(self.jobs, len(payloads))) as pool:
+            return pool.map(_execute_payload, payloads)
+
+    # --------------------------------------------------------------- outputs
+    def write_json(self, result: CampaignResult) -> list[str]:
+        """One ``<scenario>.json`` per scenario: spec metadata + run rows."""
+        assert self.out_dir is not None
+        os.makedirs(self.out_dir, exist_ok=True)
+        paths = []
+        for rep in result.reports:
+            doc = {
+                "scenario": rep.spec.name,
+                "title": rep.spec.title,
+                "workload": rep.spec.workload,
+                "metrics": list(rep.spec.metrics),
+                "campaign_seed": result.seed,
+                "runs": [
+                    {
+                        "index": rec.index,
+                        "params": rec.params,
+                        "seed": rec.seed,
+                        "rows": rec.rows,
+                    }
+                    for rec in rep.records
+                ],
+            }
+            path = os.path.join(self.out_dir, f"{rep.spec.name}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            paths.append(path)
+        return paths
+
+
+def run_scenario(name: str, jobs: int = 1, seed: int = 0) -> ScenarioReport:
+    """Convenience: run one scenario through the campaign path and return
+    its report (the per-module ``main()`` entry points use this)."""
+    spec = get_scenario(name)
+    campaign = CampaignRunner(jobs=jobs, seed=seed).run([spec])
+    return campaign.report_for(name)

@@ -223,7 +223,10 @@ class _Condition(Event):
                 ev.callbacks.append(self._on_child)
 
     def _collect(self) -> dict[Event, Any]:
-        return {ev: ev._value for ev in self.events if ev._processed or ev._triggered}
+        # Only processed events have delivered their value; a triggered but
+        # not-yet-processed event (e.g. a Timeout scheduled for a later
+        # instant) must not leak into an AnyOf result.
+        return {ev: ev._value for ev in self.events if ev._processed}
 
     def _on_child(self, event: Event) -> None:
         raise NotImplementedError

@@ -10,7 +10,6 @@ from repro.controlplane.agent import NodeAgent
 from repro.controlplane.coordinator import Coordinator, OrchestrationConfig
 from repro.controlplane.hierarchy import plan_hierarchy
 from repro.controlplane.metrics import MetricsServer
-from repro.runtime.gateway import encode_update
 
 
 def make_metrics(n_nodes=5, mc=20):

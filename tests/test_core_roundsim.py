@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.common.rng import make_rng
 from repro.common.units import RESNET152_BYTES, RESNET18_BYTES
 from repro.core.platform import AggregationPlatform, PlatformConfig
 from repro.core.roundsim import RoundEngine

@@ -1,0 +1,144 @@
+"""Round-engine stage registry: resolution, extension, engine neutrality."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.controlplane.hierarchy import AggregatorSpec, HierarchyPlan, Role
+from repro.core import roundsim
+from repro.core.platform import PlatformConfig
+from repro.core.roundsim import RoundEngine
+from repro.core.stages import (
+    INGRESS_STAGES,
+    LIFECYCLE_STAGES,
+    TRANSFER_STAGES,
+    GatewayIngress,
+    IngressCosts,
+    ServerfulBrokerIngress,
+    ServerlessBrokerIngress,
+    WarmPoolLifecycle,
+    resolve_ingress,
+    resolve_lifecycle,
+    resolve_transfer,
+)
+from repro.core.updates import SimUpdate
+from repro.dataplane.calibration import DEFAULT_CALIBRATION
+
+
+def _one_node_plan() -> HierarchyPlan:
+    plan = HierarchyPlan()
+    plan.aggregators["t/top@node0"] = AggregatorSpec(
+        "t/top@node0", Role.TOP, "node0", fan_in=2
+    )
+    plan.top_node = "node0"
+    plan.validate()
+    return plan
+
+
+def _updates(n: int = 2, nbytes: float = 1e6) -> list[SimUpdate]:
+    return [
+        SimUpdate(uid=i, nbytes=nbytes, weight=1.0, arrival_time=float(i), node="node0", client_id=f"c{i}")
+        for i in range(n)
+    ]
+
+
+def test_preset_ingress_resolution():
+    assert isinstance(resolve_ingress(PlatformConfig.lifl()), GatewayIngress)
+    assert isinstance(resolve_ingress(PlatformConfig.serverful()), ServerfulBrokerIngress)
+    assert isinstance(resolve_ingress(PlatformConfig.serverless()), ServerlessBrokerIngress)
+    assert isinstance(resolve_ingress(PlatformConfig.sl_h()), GatewayIngress)
+
+
+def test_explicit_stage_key_overrides_derivation():
+    cfg = PlatformConfig.lifl(ingress_stage="broker-sl")
+    assert isinstance(resolve_ingress(cfg), ServerlessBrokerIngress)
+
+
+def test_unknown_stage_key_raises():
+    with pytest.raises(ConfigError, match="unknown ingress stage"):
+        resolve_ingress(PlatformConfig.lifl(ingress_stage="nope"))
+    with pytest.raises(ConfigError, match="unknown transfer stage"):
+        resolve_transfer(PlatformConfig.lifl(transfer_stage="nope"))
+    with pytest.raises(ConfigError, match="unknown lifecycle stage"):
+        resolve_lifecycle(PlatformConfig.lifl(lifecycle_stage="nope"))
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ConfigError, match="already registered"):
+        INGRESS_STAGES.register("gateway")(GatewayIngress)
+
+
+def test_registry_names_listed():
+    assert {"gateway", "broker-sf", "broker-sl"} <= set(INGRESS_STAGES.names())
+    assert "calibrated" in TRANSFER_STAGES.names()
+    assert "warm-pool" in LIFECYCLE_STAGES.names()
+
+
+def test_transfer_split_sums_to_pipeline_total():
+    cfg = PlatformConfig.lifl()
+    xfer = resolve_transfer(cfg).costs(cfg, DEFAULT_CALIBRATION, 1e7)
+    assert xfer.inter_tx_latency + xfer.inter_rx_latency > 0
+    assert xfer.inter_tx_latency == pytest.approx(xfer.inter_rx_latency)
+    assert xfer.intra_latency > 0 and xfer.intra_cpu > 0
+
+
+def test_roundsim_does_not_branch_on_ingress_kind():
+    """The engine must resolve ingress behaviour through the registry, not
+    by inspecting IngressKind."""
+    source = inspect.getsource(roundsim)
+    assert "IngressKind" not in source
+
+
+def test_custom_ingress_stage_flows_through_engine():
+    """A scenario-registered ingress variant is picked up by the engine via
+    config alone — no roundsim changes."""
+    registered = "free-ingress" in INGRESS_STAGES.names()
+    if not registered:
+
+        @INGRESS_STAGES.register("free-ingress")
+        class FreeIngress(ServerlessBrokerIngress):
+            """Zero-cost ingress: isolates the aggregation path."""
+
+            name = "free-ingress"
+
+            def costs(self, cfg, cal, nbytes):
+                return IngressCosts(0.0, 0.0, 0.0, 0.0)
+
+            def reserved_cpu(self, cfg, duration, nodes_used):
+                return 0.0
+
+    baseline_cfg = PlatformConfig.serverless(prewarm=True, ramp_delay=0.0)
+    custom_cfg = PlatformConfig.serverless(
+        prewarm=True, ramp_delay=0.0, ingress_stage="free-ingress"
+    )
+    plan = _one_node_plan()
+    base = RoundEngine(baseline_cfg, ["node0"]).run_round(
+        _updates(), plan, include_eval=False
+    )
+    free = RoundEngine(custom_cfg, ["node0"]).run_round(
+        _updates(), plan, include_eval=False
+    )
+    assert free.act < base.act  # free ingress strictly shortens the round
+
+
+def test_warm_pool_lifecycle_stocks_and_drains():
+    lifecycle = WarmPoolLifecycle()
+    lifecycle.begin_round()
+    lifecycle.end_round(PlatformConfig.lifl(), {"node0": 3})
+    assert lifecycle.warm.total() == 3
+    assert lifecycle.warm.take("node0")
+    assert lifecycle.warm.total() == 2
+    assert not lifecycle.warm.take("node1")
+    # no stocking when the config disables reuse
+    lifecycle2 = WarmPoolLifecycle()
+    lifecycle2.end_round(PlatformConfig.serverless(), {"node0": 3})
+    assert lifecycle2.warm.total() == 0
+
+
+def test_engine_exposes_stage_objects_and_warm_alias():
+    engine = RoundEngine(PlatformConfig.lifl(), ["node0"])
+    assert isinstance(engine.ingress, GatewayIngress)
+    assert engine.warm is engine.lifecycle.warm

@@ -12,6 +12,15 @@ from repro.experiments import (
     fig13_queuing,
     overhead,
 )
+from repro.experiments.common import ratio
+
+
+def test_ratio_guards_degenerate_denominators():
+    assert ratio(6.0, 3.0) == 2.0
+    assert ratio(1.0, 0.0) == float("inf")
+    # 0/0 means "no signal on either side", not infinite advantage.
+    assert ratio(0.0, 0.0) == 0.0
+    assert ratio(0.0, 5.0) == 0.0
 
 
 def test_fig04_ordering_nh_wh_lifl():

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.fig09_fl_workloads import RESNET18_SETUP, run as run_fig09
-from repro.experiments.fig10_timeseries import RESNET18_SETUP as TS18, extract_series, run as run_fig10
+from repro.experiments.fig10_timeseries import RESNET18_SETUP as TS18, run as run_fig10
 
 
 @pytest.fixture(scope="module")

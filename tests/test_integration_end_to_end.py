@@ -10,7 +10,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.common.errors import RoutingError
 from repro.common.rng import make_rng

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import SimulationError
-from repro.sim.engine import Environment, Interrupt
+from repro.sim.engine import Interrupt
 
 
 def test_timeout_advances_clock(env):
@@ -142,6 +142,108 @@ def test_interrupt_after_completion_is_noop(env):
     env.run()
 
 
+def test_interrupt_while_waiting_on_processed_event(env):
+    """Yielding an already-processed event commits an immediate resume; a
+    same-instant interrupt cannot revoke it (ties break by insertion order,
+    and the resume was scheduled first).  The value is delivered, and the
+    late interrupt is a no-op once the process has finished."""
+    done = env.timeout(1.0, "early")
+    events = []
+
+    def late_waiter():
+        yield env.timeout(5.0)
+        try:
+            yield done  # already processed at t=1 → immediate-resume path
+            events.append((env.now, "value"))
+        except Interrupt as i:  # pragma: no cover - documents the non-path
+            events.append((env.now, i.cause))
+
+    proc = env.process(late_waiter())
+
+    def killer():
+        yield env.timeout(5.0)
+        proc.interrupt("preempt")
+
+    env.process(killer())
+    env.run()
+    assert events == [(5.0, "value")]
+    assert not proc.is_alive
+
+
+def test_interrupt_after_processed_event_hits_next_wait(env):
+    """If the process keeps running after consuming an already-processed
+    event, a same-instant interrupt lands at its next wait point."""
+    done = env.timeout(1.0, "early")
+    events = []
+
+    def late_waiter():
+        yield env.timeout(5.0)
+        value = yield done  # immediate resume with the stored value
+        events.append((env.now, value))
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as i:
+            events.append((env.now, i.cause))
+
+    proc = env.process(late_waiter())
+
+    def killer():
+        yield env.timeout(5.0)
+        proc.interrupt("preempt")
+
+    env.process(killer())
+    env.run()
+    assert events == [(5.0, "early"), (5.0, "preempt")]
+
+
+def test_double_interrupt_delivers_both(env):
+    """Two interrupts at the same instant: the first wakes the process; a
+    process that resumes waiting can be interrupted again."""
+    causes = []
+
+    def sleeper():
+        for _ in range(2):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as i:
+                causes.append((env.now, i.cause))
+
+    proc = env.process(sleeper())
+
+    def killer():
+        yield env.timeout(5.0)
+        proc.interrupt("first")
+        proc.interrupt("second")
+
+    env.process(killer())
+    env.run()
+    assert causes == [(5.0, "first"), (5.0, "second")]
+
+
+def test_double_interrupt_after_finish_is_noop(env):
+    """A second interrupt arriving after the process already finished (the
+    first one let it run to completion) must be swallowed."""
+    causes = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as i:
+            causes.append(i.cause)  # then return: process finishes
+
+    proc = env.process(sleeper())
+
+    def killer():
+        yield env.timeout(5.0)
+        proc.interrupt("first")
+        proc.interrupt("second")  # process will be finished when this fires
+
+    env.process(killer())
+    env.run()
+    assert causes == ["first"]
+    assert not proc.is_alive
+
+
 def test_all_of_waits_for_every_event(env):
     t1, t2 = env.timeout(1.0, "a"), env.timeout(4.0, "b")
     done = []
@@ -168,6 +270,37 @@ def test_any_of_fires_on_first(env):
     assert done == [1.0]
 
 
+def test_any_of_excludes_pending_values(env):
+    """Regression: a Timeout is *triggered* (scheduled) at construction, but
+    its value must not appear in an AnyOf result until it is processed."""
+    t1, t2 = env.timeout(1.0, "fast"), env.timeout(9.0, "slow")
+    collected = []
+
+    def waiter():
+        results = yield env.any_of([t1, t2])
+        collected.append(results)
+
+    env.process(waiter())
+    env.run()
+    assert collected == [{t1: "fast"}]
+    assert t2 not in collected[0]
+
+
+def test_any_of_includes_simultaneous_events_processed_first(env):
+    """Two events at the same instant: only those already processed when
+    the condition fires are in the result (tie broken by insertion order)."""
+    t1, t2 = env.timeout(1.0, "a"), env.timeout(1.0, "b")
+    collected = []
+
+    def waiter():
+        results = yield env.any_of([t1, t2])
+        collected.append(results)
+
+    env.process(waiter())
+    env.run()
+    assert collected == [{t1: "a"}]
+
+
 def test_run_until_time_stops_clock_exactly(env):
     def p():
         while True:
@@ -183,6 +316,33 @@ def test_run_until_event_deadlock_detected(env):
 
     with pytest.raises(SimulationError, match="deadlock"):
         env.run(until=ev)
+
+
+def test_run_until_event_propagates_failure(env):
+    """run(until=ev) re-raises the exception a failed `until` event carries."""
+    ev = env.event()
+
+    def failer():
+        yield env.timeout(2.0)
+        ev.fail(RuntimeError("round collapsed"))
+
+    env.process(failer())
+    with pytest.raises(RuntimeError, match="round collapsed"):
+        env.run(until=ev)
+    assert env.now == 2.0
+
+
+def test_run_until_failed_process_propagates(env):
+    """A process that raises fails its own Process event; run(until=proc)
+    surfaces that exception to the caller."""
+
+    def crasher():
+        yield env.timeout(1.0)
+        raise ValueError("bad plan")
+
+    proc = env.process(crasher())
+    with pytest.raises(ValueError, match="bad plan"):
+        env.run(until=proc)
 
 
 def test_yielding_non_event_is_an_error(env):
