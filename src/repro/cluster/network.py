@@ -5,26 +5,38 @@ link capacity equally, and rates are recomputed whenever a flow starts or
 finishes.  This captures the contention the paper observes in Fig. 4, where
 four leaf aggregators sending intermediate updates to the top aggregator
 compete for the same NIC and kernel network processing.
+
+Implementation: **virtual service time**.  The link tracks ``_service`` —
+the cumulative bytes *each* active flow has received since the link was
+created (all flows in a processor-sharing link drain at the same per-flow
+rate, so one scalar serves every flow).  A flow arriving when the virtual
+service clock reads ``V`` finishes when the clock reads ``V + nbytes``;
+that finish point is computed once, on arrival, and pushed on a heap.  A
+flow start/finish is then O(log F): advance the clock, pop newly finished
+flows, retime the single pending timer against the heap top.  Superseded
+timers are *cancelled* (skipped dead when popped) instead of being left to
+fire as no-ops — the counters in :mod:`repro.perf.counters` make the
+difference observable.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Optional
 
 from repro.common.errors import SimulationError
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import Environment, Event, Timeout
 
 
 class Flow:
     """One in-flight transfer on a :class:`ProcessorSharingLink`."""
 
-    __slots__ = ("nbytes", "remaining", "done", "started_at", "label")
+    __slots__ = ("nbytes", "done", "started_at", "label")
 
     def __init__(self, env: Environment, nbytes: float, label: str = "") -> None:
         if nbytes <= 0:
             raise SimulationError(f"flow size must be positive, got {nbytes}")
         self.nbytes = float(nbytes)
-        self.remaining = float(nbytes)
         self.done: Event = Event(env)
         self.started_at = env.now
         self.label = label
@@ -43,32 +55,39 @@ class ProcessorSharingLink:
         self.env = env
         self.capacity_bps = float(capacity_bps)
         self.name = name
-        self._flows: list[Flow] = []
+        #: cumulative per-flow service (bytes) — the virtual service clock
+        self._service = 0.0
+        #: (finish service point, arrival seq, flow), a heap
+        self._heap: list[tuple[float, int, Flow]] = []
+        self._seq = 0
         self._last_update = env.now
-        self._timer: Optional[Event] = None
-        self._timer_gen = 0
+        self._timer: Optional[Timeout] = None
         self.bytes_carried = 0.0
 
     @property
     def active_flows(self) -> int:
-        return len(self._flows)
+        return len(self._heap)
 
     def utilization_rate(self) -> float:
         """Current aggregate send rate (bytes/s)."""
-        return self.capacity_bps if self._flows else 0.0
+        return self.capacity_bps if self._heap else 0.0
 
     def transfer(self, nbytes: float, label: str = "") -> Event:
         """Start a flow; the returned event fires at completion."""
         self._advance()
         flow = Flow(self.env, nbytes, label)
-        self._flows.append(flow)
+        self._seq += 1
+        heapq.heappush(self._heap, (self._service + flow.nbytes, self._seq, flow))
+        timer = self._timer
+        if timer is not None and not timer._processed:
+            # The rate change moved the next completion: retire the armed
+            # timer (it is skipped dead at pop) instead of letting it fire
+            # as a stale no-op.
+            self.env.cancel(timer)
         self._reschedule()
         return flow.done
 
     # -- internals --------------------------------------------------------
-    def _per_flow_rate(self) -> float:
-        return self.capacity_bps / len(self._flows)
-
     #: flows whose remainder would drain in less than this many seconds at
     #: the current rate are considered finished — the residue is float
     #: noise, and sweeping it eagerly prevents zero-length timer loops when
@@ -77,44 +96,66 @@ class ProcessorSharingLink:
     _EPSILON_SECONDS = 1e-9
 
     def _advance(self) -> None:
-        """Drain progress accrued since the last state change."""
-        now = self.env.now
+        """Advance the virtual service clock and pop finished flows."""
+        env = self.env
+        now = env.now
         dt = now - self._last_update
         self._last_update = now
-        if not self._flows:
+        heap = self._heap
+        if not heap:
             return
-        rate = self._per_flow_rate()
-        sent = rate * dt if dt > 0 else 0.0
-        residue = rate * self._EPSILON_SECONDS
-        finished: list[Flow] = []
-        for f in self._flows:
-            if sent > 0:
-                self.bytes_carried += min(sent, f.remaining)
-                f.remaining -= sent
-            if f.remaining <= residue:
-                finished.append(f)
-        for f in finished:
-            self._flows.remove(f)
-            f.done.succeed(self.env.now - f.started_at)
+        n = len(heap)
+        rate = self.capacity_bps / n
+        if dt > 0:
+            dv = rate * dt
+            self._service += dv
+            self.bytes_carried += dv * n
+        service = self._service
+        horizon = service + rate * self._EPSILON_SECONDS
+        while heap and heap[0][0] <= horizon:
+            finish_at, _, flow = heapq.heappop(heap)
+            # A flow's total contribution must be exactly its size: correct
+            # for the float residue/overshoot accrued in interval math.
+            self.bytes_carried += finish_at - service
+            flow.done.succeed(now - flow.started_at)
 
     def _reschedule(self) -> None:
-        """(Re)arm the timer for the next flow completion."""
-        self._timer_gen += 1
-        gen = self._timer_gen
-        if not self._flows:
+        """Arm a fresh timer for the next flow completion (the previous
+        timer, if any, must be processed or cancelled by the caller)."""
+        heap = self._heap
+        if not heap:
+            self._timer = None
             return
-        rate = self._per_flow_rate()
-        next_done = min(f.remaining for f in self._flows) / rate
-        timer = self.env.timeout(max(next_done, 0.0))
-
-        def on_timer(_: Event) -> None:
-            if gen != self._timer_gen:
-                return  # superseded by a newer state change
-            self._advance()
-            self._reschedule()
-
-        timer.callbacks.append(on_timer)
+        env = self.env
+        rate = self.capacity_bps / len(heap)
+        delay = (heap[0][0] - self._service) / rate
+        if delay < 0:
+            delay = 0.0
+        timer = Timeout(env, delay)
+        timer.callbacks.append(self._on_timer)
         self._timer = timer
+
+    def _on_timer(self, timer: Event) -> None:
+        if timer is not self._timer:
+            return  # superseded by a newer state change
+        self._advance()
+        self._reschedule()
+
+
+class _PairCompletion:
+    """Callback counting down the two legs of a fabric transfer; fires the
+    single completion event when the slower leg finishes."""
+
+    __slots__ = ("result", "pending")
+
+    def __init__(self, result: Event) -> None:
+        self.result = result
+        self.pending = 2
+
+    def __call__(self, event: Event) -> None:
+        self.pending -= 1
+        if self.pending == 0:
+            self.result.succeed(event.env.now)
 
 
 class Fabric:
@@ -147,6 +188,10 @@ class Fabric:
     def transfer(self, src: str, dst: str, nbytes: float, label: str = "") -> Event:
         """Move ``nbytes`` from ``src`` to ``dst``; fires when both NICs done.
 
+        The returned event is the completion event itself — it fires in the
+        same event step as the slower leg's flow completion, with the
+        completion time as its value.
+
         Intra-node "transfers" (src == dst) complete immediately — higher
         layers model the intra-node cost explicitly (shared memory vs
         loopback kernel path) through the dataplane cost models.
@@ -159,11 +204,8 @@ class Fabric:
             return ev
         tx_done = self._tx[src].transfer(nbytes, label)
         rx_done = self._rx[dst].transfer(nbytes, label)
-        both = self.env.all_of([tx_done, rx_done])
         result = Event(self.env)
-
-        def on_both(e: Event) -> None:
-            result.succeed(self.env.now)
-
-        both.callbacks.append(on_both)
+        pair = _PairCompletion(result)
+        tx_done.callbacks.append(pair)
+        rx_done.callbacks.append(pair)
         return result

@@ -52,7 +52,10 @@ class CpuAccount:
     def charge(self, component: str, cpu_seconds: float) -> None:
         if cpu_seconds < 0:
             raise SimulationError(f"negative CPU charge: {cpu_seconds}")
-        self.buckets[component] = self.buckets.get(component, 0.0) + cpu_seconds
+        try:
+            self.buckets[component] += cpu_seconds
+        except KeyError:
+            self.buckets[component] = cpu_seconds
 
     def total(self) -> float:
         return sum(self.buckets.values())

@@ -18,6 +18,7 @@ the source of the ~20 % ACT gap measured in Fig. 8 (④).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Generator
@@ -25,7 +26,7 @@ from typing import Callable, Generator
 from repro.common.errors import SimulationError
 from repro.core.results import InstanceStats
 from repro.core.updates import MailboxItem
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import Environment, Event, Process
 from repro.sim.resources import Store
 
 
@@ -63,11 +64,12 @@ class AggregatorInstance:
         eager: bool,
         charge_cpu: Callable[[str, float], None],
         on_output: Callable[["AggregatorInstance", float, float], None],
-        record: Callable[[str, str, float, float], None],
+        record: Callable[[str, str, float, float], None] | None,
     ) -> None:
         """``on_output(instance, total_weight, now)`` fires at Send;
         ``charge_cpu(component, seconds)`` bills the hosting node;
-        ``record(actor, kind, start, end)`` feeds the timeline log."""
+        ``record(actor, kind, start, end)`` feeds the timeline log
+        (``None`` disables timeline telemetry for the round)."""
         if fan_in < 1:
             raise SimulationError(f"{agg_id}: fan_in must be >= 1")
         self.env = env
@@ -84,9 +86,9 @@ class AggregatorInstance:
         self.state = InstanceState.PLANNED
         self.stats = InstanceStats(agg_id=agg_id, node=node, role=role)
         self._created = False
-        self._ready_event: Event = env.event()
+        self._ready_event: Event = Event(env)
         self._total_weight = 0.0
-        self.process = env.process(self._run(), name=agg_id)
+        self.process = Process(env, self._run(), agg_id)
 
     # -- lifecycle ------------------------------------------------------------
     def ensure_created(self, reused: bool = False) -> None:
@@ -108,7 +110,16 @@ class AggregatorInstance:
         self.stats.cold_start = not reused and startup > 0.0
         if self.stats.cold_start:
             self._charge("coldstart", self.costs.startup_cpu)
-            self._record(self.agg_id, "coldstart", now, now + startup)
+            if self._record is not None:
+                self._record(self.agg_id, "coldstart", now, now + startup)
+
+        if startup == 0.0:
+            # Warm/reused instances are ready at once — don't route the
+            # no-op startup through a zero-delay timer.
+            self.state = InstanceState.READY
+            self.stats.ready_at = now
+            self._ready_event.succeed()
+            return
 
         def ready(_: Event) -> None:
             self.state = InstanceState.READY
@@ -118,43 +129,69 @@ class AggregatorInstance:
         self.env.timeout(startup).callbacks.append(ready)
 
     def deliver(self, item: MailboxItem) -> None:
-        """Producer side: enqueue into the FIFO mailbox (Recv's queue)."""
-        self.mailbox.put(item)
+        """Producer side: enqueue into the FIFO mailbox (Recv's queue).
+
+        The mailbox is unbounded and no producer waits on the deposit, so
+        this takes the event-free path."""
+        self.mailbox.put_nowait(item)
 
     # -- the step-based processing loop (Fig. 14) ------------------------------
     def _run(self) -> Generator[Event, object, None]:
         yield self._ready_event
+        # This loop runs once per update in the round across every
+        # instance — bind the per-step constants once.
+        env = self.env
+        timeout = env.timeout
+        mailbox_get = self.mailbox.get
+        mailbox_try_get = self.mailbox.try_get
+        charge = self._charge
+        record = self._record  # None when the round's telemetry is off
+        stats = self.stats
+        agg_id = self.agg_id
+        fan_in = self.fan_in
+        eager = self.eager
+        costs = self.costs
+        recv_latency = costs.recv_client_latency
+        recv_cpu = costs.recv_client_cpu
+        agg_latency = costs.agg_latency
+        agg_cpu = costs.agg_cpu
         received = 0
         aggregated = 0
-        pending: list[MailboxItem] = []
-        while aggregated < self.fan_in:
-            if received < self.fan_in:
-                item = yield self.mailbox.get()
-                assert isinstance(item, MailboxItem)
+        pending: deque[MailboxItem] = deque()
+        while aggregated < fan_in:
+            if received < fan_in:
+                # Backlogged mailboxes hand the item over without an event
+                # round-trip; only an empty mailbox parks the process.
+                item = mailbox_try_get()
+                if item is None:
+                    item = yield mailbox_get()
                 received += 1
                 # Recv step: client updates pay the consumer-side ingress
                 # leg; intermediates' cost was paid on the transfer edge.
-                if not item.is_intermediate and self.costs.recv_client_latency > 0:
-                    t0 = self.env.now
-                    yield self.env.timeout(self.costs.recv_client_latency)
-                    self._charge("dataplane", self.costs.recv_client_cpu)
-                    self._record(self.agg_id, "network", t0, self.env.now)
+                if not item.is_intermediate and recv_latency > 0:
+                    t0 = env._now
+                    yield timeout(recv_latency)
+                    charge("dataplane", recv_cpu)
+                    if record is not None:
+                        record(agg_id, "network", t0, env._now)
                 pending.append(item)
-                if not self.eager and received < self.fan_in:
+                if not eager and received < fan_in:
                     continue  # lazy: keep queuing until everything arrived
             # Agg step: eager folds one item; lazy drains the whole queue.
-            while pending and aggregated < self.fan_in:
-                item = pending.pop(0)
-                t0 = self.env.now
-                yield self.env.timeout(self.costs.agg_latency)
-                self._charge("aggregation", self.costs.agg_cpu)
-                self._record(self.agg_id, "agg", t0, self.env.now)
+            while pending and aggregated < fan_in:
+                item = pending.popleft()
+                t0 = env._now
+                yield timeout(agg_latency)
+                charge("aggregation", agg_cpu)
+                if record is not None:
+                    record(agg_id, "agg", t0, env._now)
                 self._total_weight += item.weight
                 aggregated += 1
-                self.stats.updates_aggregated = aggregated
-                if self.eager:
+                stats.updates_aggregated = aggregated
+                if eager:
                     break  # go back to Recv; overlap with later arrivals
         # Send step
         self.state = InstanceState.FINISHED
-        self.stats.finished_at = self.env.now
-        self._on_output(self, self._total_weight, self.env.now)
+        now = env._now
+        stats.finished_at = now
+        self._on_output(self, self._total_weight, now)

@@ -131,8 +131,9 @@ class AsyncAggregator:
 
     def _publish(self) -> AsyncVersionRecord:
         if not self.config.eager:
-            for update, _ in self._pending:
-                self._acc.add(update)
+            # Lazy burst: the whole goal's worth of updates folds at once,
+            # so batch it through the vectorized path.
+            self._acc.add_batch([update for update, _ in self._pending])
             self._pending.clear()
         aggregate = self._acc.result()
         self.current_version += 1

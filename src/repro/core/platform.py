@@ -295,10 +295,13 @@ class AggregationPlatform:
         arrivals: list[tuple[float, float]],
         nbytes: float,
         include_eval: bool = True,
+        record_timeline: bool = True,
     ) -> RoundResult:
         """Place → plan → simulate one round."""
         updates = self.place_updates(arrivals, nbytes)
         plan = self.plan_round(updates)
-        result = self.engine.run_round(updates, plan, include_eval=include_eval)
+        result = self.engine.run_round(
+            updates, plan, include_eval=include_eval, record_timeline=record_timeline
+        )
         self._round += 1
         return result

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from repro.common.eventlog import EventLog
 
 
-@dataclass
+@dataclass(slots=True)
 class InstanceStats:
     """Lifecycle of one aggregator instance during a round."""
 

@@ -46,7 +46,7 @@ from repro.core.stages import (
 )
 from repro.core.updates import MailboxItem, SimUpdate
 from repro.dataplane.calibration import DEFAULT_CALIBRATION, DataplaneCalibration
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, Process
 from repro.sim.resources import Resource
 
 __all__ = ["RoundEngine", "WarmState", "required_leaf_capacity"]
@@ -119,9 +119,15 @@ class RoundEngine:
         updates: list[SimUpdate],
         plan: HierarchyPlan,
         include_eval: bool = True,
+        record_timeline: bool = True,
     ) -> RoundResult:
         """Simulate one round; updates must already carry node assignments
-        consistent with ``plan`` (the platform does placement first)."""
+        consistent with ``plan`` (the platform does placement first).
+
+        ``record_timeline=False`` swaps the timeline sink for a no-op —
+        stress-scale rounds that never render a Gantt chart skip the
+        per-event :class:`TimelineEvent` cost (the result's ``timeline``
+        stays empty)."""
         if not updates:
             raise ConfigError("round needs at least one update")
         if not plan.aggregators:
@@ -157,14 +163,7 @@ class RoundEngine:
         instances: dict[str, AggregatorInstance] = {}
         finished_on_node: dict[str, int] = {}
 
-        def make_charger(node: str):
-            def charge(component: str, cpu_seconds: float) -> None:
-                nodes[node].charge_cpu(cpu_seconds, component)
-
-            return charge
-
-        def record(actor: str, kind: str, start: float, end: float) -> None:
-            timeline.record(actor, kind, start, end)
+        record = timeline.record if record_timeline else None
 
         def on_output(inst: AggregatorInstance, weight: float, now: float) -> None:
             finished_on_node[inst.node] = finished_on_node.get(inst.node, 0) + 1
@@ -172,30 +171,45 @@ class RoundEngine:
             if spec.role is Role.TOP:
                 top_done.succeed(now)
                 return
-            env.process(
-                _transfer(inst, plan.aggregators[spec.parent], weight),
-                name=f"xfer:{inst.agg_id}",
-            )
+            parent_spec = plan.aggregators[spec.parent]
+            if inst.node == parent_spec.node:
+                # Intra-node hand-off is a single fixed-latency hop — a
+                # flat callback on one timer instead of a full process
+                # (half the events of the generator path).
+                _intra_transfer(inst, parent_spec, weight)
+            else:
+                Process(env, _transfer(inst, parent_spec, weight), f"xfer:{inst.agg_id}")
+
+        def _intra_transfer(child: AggregatorInstance, parent_spec: AggregatorSpec, weight: float) -> None:
+            parent = instances[parent_spec.agg_id]
+            src = child.node
+            t0 = env._now
+
+            def done(_event) -> None:
+                nodes[src].cpu.charge("dataplane", costs.intra_cpu)
+                if record is not None:
+                    record(child.agg_id, "network", t0, env._now)
+                _deliver(parent, MailboxItem(weight, child.agg_id, True, env._now))
+
+            env.timeout(costs.intra_latency).callbacks.append(done)
 
         def _transfer(child: AggregatorInstance, parent_spec: AggregatorSpec, weight: float):
             parent = instances[parent_spec.agg_id]
             src, dst = child.node, parent_spec.node
-            t0 = env.now
-            if src == dst:
-                yield env.timeout(costs.intra_latency)
-                nodes[src].charge_cpu(costs.intra_cpu, "dataplane")
-            else:
-                result.cross_node_transfers += 1
-                yield env.timeout(costs.inter_tx_latency)
-                nodes[src].charge_cpu(costs.inter_tx_cpu, "dataplane")
-                yield fabric.transfer(src, dst, nbytes, label=child.agg_id)
-                req = ingress_res[dst].request()
-                yield req
-                yield env.timeout(costs.inter_rx_latency)
-                ingress_res[dst].release(req)
-                nodes[dst].charge_cpu(costs.inter_rx_cpu, "dataplane")
-            timeline.record(child.agg_id, "network", t0, env.now)
-            _deliver(parent, MailboxItem(weight, child.agg_id, True, env.now))
+            timeout = env.timeout
+            t0 = env._now
+            result.cross_node_transfers += 1
+            yield timeout(costs.inter_tx_latency)
+            nodes[src].cpu.charge("dataplane", costs.inter_tx_cpu)
+            yield fabric.transfer(src, dst, nbytes, label=child.agg_id)
+            req = ingress_res[dst].request()
+            yield req
+            yield timeout(costs.inter_rx_latency)
+            ingress_res[dst].release(req)
+            nodes[dst].cpu.charge("dataplane", costs.inter_rx_cpu)
+            if record is not None:
+                record(child.agg_id, "network", t0, env._now)
+            _deliver(parent, MailboxItem(weight, child.agg_id, True, env._now))
 
         def _deliver(inst: AggregatorInstance, item: MailboxItem) -> None:
             if not cfg.prewarm:
@@ -223,7 +237,7 @@ class RoundEngine:
                     startup_cpu=cfg.cold_start_cpu,
                 ),
                 eager=cfg.eager,
-                charge_cpu=make_charger(spec.node),
+                charge_cpu=nodes[spec.node].cpu.charge,
                 on_output=on_output,
                 record=record,
             )
@@ -238,35 +252,47 @@ class RoundEngine:
             updates, plan, locality_aware=cfg.locality_aware
         )
 
+        timeout = env.timeout
+        ingress_latency = costs.ingress_latency
+        ingress_cpu = costs.ingress_cpu
+
         def _ingress(update: SimUpdate, leaf_id: str):
-            yield env.timeout(update.arrival_time)
-            res = ingress_res[update.node]
+            # started with delay=arrival_time — no leading arrival timeout
+            node = update.node
+            res = ingress_res[node]
             req = res.request()
             yield req
-            t0 = env.now
-            yield env.timeout(costs.ingress_latency)
+            t0 = env._now
+            yield timeout(ingress_latency)
             res.release(req)
-            nodes[update.node].charge_cpu(costs.ingress_cpu, "ingress")
-            timeline.record(f"{update.node}/gw", "network", t0, env.now)
+            nodes[node].cpu.charge("ingress", ingress_cpu)
+            if record is not None:
+                record(f"{node}/gw", "network", t0, env._now)
             leaf = instances[leaf_id]
-            if leaf.node != update.node:
+            if leaf.node != node:
                 # Locality-agnostic placement (§2.3): the update was queued
                 # on one node but its aggregator pod lives on another —
                 # one full inter-node hop before the leaf can consume it.
                 result.cross_node_transfers += 1
-                yield env.timeout(costs.inter_tx_latency)
-                nodes[update.node].charge_cpu(costs.inter_tx_cpu, "dataplane")
-                yield fabric.transfer(update.node, leaf.node, nbytes, label=f"u{update.uid}")
+                yield timeout(costs.inter_tx_latency)
+                nodes[node].cpu.charge("dataplane", costs.inter_tx_cpu)
+                yield fabric.transfer(node, leaf.node, nbytes, label=f"u{update.uid}")
                 req2 = ingress_res[leaf.node].request()
                 yield req2
-                yield env.timeout(costs.inter_rx_latency)
+                yield timeout(costs.inter_rx_latency)
                 ingress_res[leaf.node].release(req2)
-                nodes[leaf.node].charge_cpu(costs.inter_rx_cpu, "dataplane")
-                timeline.record(f"u{update.uid}", "network", t0, env.now)
-            _deliver(leaf, MailboxItem(update.weight, update.client_id, False, env.now))
+                nodes[leaf.node].cpu.charge("dataplane", costs.inter_rx_cpu)
+                if record is not None:
+                    record(f"u{update.uid}", "network", t0, env._now)
+            _deliver(leaf, MailboxItem(update.weight, update.client_id, False, env._now))
 
         for update in updates:
-            env.process(_ingress(update, leaf_assignment[update.uid]), name=f"in:{update.uid}")
+            Process(
+                env,
+                _ingress(update, leaf_assignment[update.uid]),
+                f"in:{update.uid}",
+                update.arrival_time,
+            )
 
         # -- run -------------------------------------------------------------------
         act_value = env.run(until=top_done)
@@ -274,7 +300,8 @@ class RoundEngine:
         if include_eval:
             top_node = plan.top.node
             nodes[top_node].charge_cpu(self.cal.eval_task_cpu, "eval")
-            timeline.record(plan.top.agg_id, "eval", result.act, result.act + self.cal.eval_task_latency)
+            if record is not None:
+                record(plan.top.agg_id, "eval", result.act, result.act + self.cal.eval_task_latency)
             result.completion_time = result.act + self.cal.eval_task_latency
         else:
             result.completion_time = result.act
@@ -283,7 +310,8 @@ class RoundEngine:
         )
         if chain > 0:
             # Serialized distribution/scale-up overhead (see PlatformConfig).
-            timeline.record("control", "network", result.completion_time, result.completion_time + chain)
+            if record is not None:
+                record("control", "network", result.completion_time, result.completion_time + chain)
             nodes[plan.top.node].charge_cpu(chain * cfg.chain_overhead_cores, "chain")
             result.completion_time += chain
 
@@ -354,35 +382,52 @@ def _assign_updates_to_leaves(
     assignment: dict[int, str] = {}
     ordered = sorted(updates, key=lambda u: (u.arrival_time, u.uid))
     if not locality_aware:
-        slots_flat = [[spec, spec.fan_in] for spec in leaves]
+        cursor = _FillCursor(leaves)
         for update in ordered:
-            for entry in slots_flat:
-                if entry[1] > 0:
-                    entry[1] -= 1
-                    assignment[update.uid] = entry[0].agg_id
-                    break
-            else:
+            agg_id = cursor.take()
+            if agg_id is None:
                 raise SimulationError("more updates than total leaf capacity in plan")
+            assignment[update.uid] = agg_id
         return assignment
-    remaining: dict[str, list[list]] = {}
+    by_node: dict[str, list] = {}
     for spec in leaves:
-        remaining.setdefault(spec.node, []).append([spec, spec.fan_in])
+        by_node.setdefault(spec.node, []).append(spec)
+    cursors = {node: _FillCursor(specs) for node, specs in by_node.items()}
     for update in ordered:
-        slots = remaining.get(update.node)
-        if not slots:
+        cursor = cursors.get(update.node)
+        if cursor is None:
             raise SimulationError(
                 f"update {update.uid} assigned to node {update.node!r} with no leaves"
             )
-        for entry in slots:
-            if entry[1] > 0:
-                entry[1] -= 1
-                assignment[update.uid] = entry[0].agg_id
-                break
-        else:
+        agg_id = cursor.take()
+        if agg_id is None:
             raise SimulationError(
                 f"node {update.node!r}: more updates than leaf capacity in plan"
             )
+        assignment[update.uid] = agg_id
     return assignment
+
+
+class _FillCursor:
+    """Consume leaf capacity in declaration order without rescanning
+    exhausted leaves (O(U + L) instead of O(U·L))."""
+
+    __slots__ = ("specs", "idx", "left")
+
+    def __init__(self, specs: list) -> None:
+        self.specs = specs
+        self.idx = 0
+        self.left = specs[0].fan_in if specs else 0
+
+    def take(self) -> str | None:
+        while self.idx < len(self.specs):
+            if self.left > 0:
+                self.left -= 1
+                return self.specs[self.idx].agg_id
+            self.idx += 1
+            if self.idx < len(self.specs):
+                self.left = self.specs[self.idx].fan_in
+        return None
 
 
 def _instances_per_node(plan: HierarchyPlan) -> dict[str, int]:

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from repro.common.errors import ConfigError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SimUpdate:
     """One client model update entering the aggregation service."""
 
@@ -32,7 +32,7 @@ class SimUpdate:
             raise ConfigError(f"update {self.uid}: negative arrival time")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MailboxItem:
     """What lands in an aggregator's mailbox: either a client update (after
     ingress processing) or an intermediate update from a child aggregator."""

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments --list              # show the catalogue
     python -m repro.experiments --jobs 4            # parallel campaign
     python -m repro.experiments --seed 7 --out out/ # seed + JSON rows
+    python -m repro.experiments stress50 --filter system=LIFL --filter batch=900
+    python -m repro.experiments fig08 --profile     # engine counters per run
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ import argparse
 import sys
 
 from repro.scenarios.registry import all_scenarios, match_scenarios
-from repro.scenarios.runner import CampaignRunner
+from repro.scenarios.runner import CampaignRunner, parse_filters
 
 
 def _positive_int(value: str) -> int:
@@ -50,6 +52,19 @@ def _parse(argv: list[str]) -> argparse.Namespace:
     parser.add_argument(
         "--out", default=None, metavar="DIR", help="also write per-scenario JSON rows"
     )
+    parser.add_argument(
+        "--filter",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        dest="filters",
+        help="keep only grid points whose param matches (repeatable; all must match)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect engine counters per run and print a profile summary",
+    )
     return parser.parse_args(argv)
 
 
@@ -73,13 +88,33 @@ def main(argv: list[str]) -> int:
         have = [s.name for s in all_scenarios()]
         print(f"no scenario matches {args.scenarios}; have {have}")
         return 2
-    runner = CampaignRunner(jobs=args.jobs, seed=args.seed, out_dir=args.out)
+    runner = CampaignRunner(
+        jobs=args.jobs,
+        seed=args.seed,
+        out_dir=args.out,
+        filters=parse_filters(args.filters),
+        profile=args.profile,
+    )
     campaign = runner.run(specs)
     for report in campaign.reports:
         print("=" * 72)
         print(f"== {report.spec.name}: {report.spec.title}")
         print("=" * 72)
         print(report.text)
+        print()
+    if args.profile:
+        print("engine profile (per run):")
+        for report in campaign.reports:
+            for rec in report.records:
+                perf = rec.perf or {}
+                params = ",".join(f"{k}={v}" for k, v in rec.params.items()) or "-"
+                print(
+                    f"  {report.spec.name}[{rec.index}] {params}: "
+                    f"{perf.get('events_processed', 0)} events, "
+                    f"{perf.get('heap_pushes', 0)} pushes, "
+                    f"{perf.get('dead_timer_skips', 0)} dead skips, "
+                    f"peak queue {perf.get('peak_queue_depth', 0)}"
+                )
         print()
     if args.out:
         print(f"JSON rows written to {args.out}/")

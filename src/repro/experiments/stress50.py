@@ -38,8 +38,10 @@ def run_cell(system: str, batch: int, seed: int = 1) -> dict:
             batch, jitter=ARRIVAL_JITTER_S, rng=make_rng(seed, "stress")
         )
     ]
-    platform.run_round(arrivals, RESNET152_BYTES, include_eval=False)
-    result = platform.run_round(arrivals, RESNET152_BYTES, include_eval=False)
+    # Telemetry off: a 900-update round logs tens of thousands of timeline
+    # bars nobody reads; the stress rows only use the scalar results.
+    platform.run_round(arrivals, RESNET152_BYTES, include_eval=False, record_timeline=False)
+    result = platform.run_round(arrivals, RESNET152_BYTES, include_eval=False, record_timeline=False)
     return {
         "system": system,
         "batch": batch,

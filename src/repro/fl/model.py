@@ -118,6 +118,35 @@ class Model:
     def zeros_like(self) -> "Model":
         return Model({k: np.zeros_like(v) for k, v in self._params.items()})
 
+    @staticmethod
+    def weighted_sum(models: "list[Model]", weights: "list[float] | np.ndarray") -> "Model":
+        """``Σ w_i · m_i`` in one vectorized pass per tensor.
+
+        The batched equivalent of folding each model in with
+        :meth:`add_scaled_`; large aggregation fan-ins go through here so
+        the inner loop runs in NumPy instead of Python (see
+        ``FedAvgAccumulator.add_batch``).  Accumulation dtype follows each
+        tensor's dtype, like the serial path.
+        """
+        if not models:
+            raise ConfigError("weighted_sum needs at least one model")
+        if len(models) != len(weights):
+            raise ConfigError(
+                f"weighted_sum: {len(models)} models but {len(weights)} weights"
+            )
+        first = models[0]
+        for other in models[1:]:
+            first._check_compatible(other)
+        out: dict[str, np.ndarray] = {}
+        w64 = np.asarray(weights, dtype=np.float64)
+        for k, ref in first._params.items():
+            stacked = np.stack([m._params[k] for m in models])
+            w = w64.astype(ref.dtype, copy=False) if ref.dtype != np.float64 else w64
+            out[k] = np.tensordot(w, stacked.reshape(len(models), -1), axes=(0, 0)).reshape(
+                ref.shape
+            )
+        return Model(out)
+
     # -- arithmetic ---------------------------------------------------------------
     def _check_compatible(self, other: "Model") -> None:
         if self.keys() != other.keys():

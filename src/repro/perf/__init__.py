@@ -1,0 +1,14 @@
+"""Engine telemetry and benchmarks.
+
+* :mod:`repro.perf.counters` — the engine's self-accounting (events
+  processed, heap pushes/pops, dead-timer skips, peak queue depth) and the
+  :func:`collect` context manager that aggregates it across environments.
+  The campaign runner's ``--profile`` flag is built on this.
+* :mod:`repro.perf.bench` — engine micro-benchmarks plus the ``stress50``
+  macro-benchmark; ``python -m repro.perf.bench --out BENCH_engine.json``
+  records the perf trajectory.
+"""
+
+from repro.perf.counters import EngineCounters, PerfCollector, collect
+
+__all__ = ["EngineCounters", "PerfCollector", "collect"]

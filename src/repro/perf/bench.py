@@ -1,0 +1,219 @@
+"""Engine benchmarks: micro (kernel primitives) and macro (stress50).
+
+The micro-benchmarks time the discrete-event kernel's primitives in
+isolation — timer churn, process spawn/finish, processor-sharing link
+state changes — in events (or flows) per second.  The macro-benchmark is
+the ``stress50`` 900-update round from the scenario registry, wall-clock
+per cell, with the engine counters attached.
+
+``python -m repro.perf.bench --out BENCH_engine.json --label <label>``
+appends one labelled entry to the JSON trajectory so successive PRs can be
+compared (see ``benchmarks/README.md``).  The pytest-benchmark suite in
+``benchmarks/test_bench_engine.py`` exercises the same functions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+
+from repro.perf.counters import EngineCounters, collect
+from repro.sim.engine import Environment
+
+# --------------------------------------------------------------- micro
+
+
+def timer_churn(n_timers: int = 20_000) -> Environment:
+    """Schedule and drain ``n_timers`` staggered timeouts."""
+    env = Environment()
+    for i in range(n_timers):
+        env.timeout(float(i % 97) * 1e-3)
+    env.run()
+    return env
+
+
+def process_churn(n_processes: int = 5_000) -> Environment:
+    """Spawn short-lived processes that wait once and finish."""
+    env = Environment()
+
+    def worker(delay: float):
+        yield env.timeout(delay)
+
+    for i in range(n_processes):
+        env.process(worker(float(i % 13) * 1e-3))
+    env.run()
+    return env
+
+
+def ps_link_churn(n_flows: int = 2_000) -> Environment:
+    """Drive one processor-sharing link through staggered flow arrivals
+    (every arrival/completion is a rate change)."""
+    from repro.cluster.network import ProcessorSharingLink
+
+    env = Environment()
+    link = ProcessorSharingLink(env, capacity_bps=1e6)
+
+    def feeder():
+        for i in range(n_flows):
+            link.transfer(1000.0 + (i % 29) * 37.0)
+            yield env.timeout(0.4e-3)
+
+    env.process(feeder())
+    env.run()
+    return env
+
+
+def fabric_churn(n_transfers: int = 1_000, n_nodes: int = 8) -> Environment:
+    """Concurrent fabric transfers contending on TX/RX NICs."""
+    from repro.cluster.network import Fabric
+
+    env = Environment()
+    fabric = Fabric(env, nic_bps=1e6)
+    names = [f"n{i}" for i in range(n_nodes)]
+    for name in names:
+        fabric.register_node(name)
+
+    def sender(i: int):
+        src = names[i % n_nodes]
+        dst = names[(i * 7 + 1) % n_nodes]
+        if src == dst:
+            dst = names[(i * 7 + 2) % n_nodes]
+        yield env.timeout((i % 11) * 1e-3)
+        yield fabric.transfer(src, dst, 5000.0)
+
+    for i in range(n_transfers):
+        env.process(sender(i))
+    env.run()
+    return env
+
+
+MICRO_BENCHES = {
+    "timer_churn": timer_churn,
+    "process_churn": process_churn,
+    "ps_link_churn": ps_link_churn,
+    "fabric_churn": fabric_churn,
+}
+
+
+def run_micro(repeat: int = 3) -> dict:
+    """Best-of-``repeat`` events/second for each micro-benchmark."""
+    out: dict[str, dict] = {}
+    for name, fn in MICRO_BENCHES.items():
+        best = None
+        events = 0
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            env = fn()
+            dt = time.perf_counter() - t0
+            if best is None or dt < best:
+                best = dt
+                events = env.events_processed
+        out[name] = {
+            "seconds": best,
+            "events_processed": events,
+            "events_per_second": events / best if best else 0.0,
+        }
+    return out
+
+
+# --------------------------------------------------------------- macro
+
+
+def run_macro_stress50(repeat: int = 3, batch: int = 900) -> dict:
+    """Wall-clock of one warm+measured stress50 cell per system, plus the
+    engine counters of the best run."""
+    from repro.experiments.stress50 import run_cell
+
+    out: dict[str, dict] = {}
+    for system in ("LIFL", "SL-H"):
+        best = None
+        counters = EngineCounters()
+        for _ in range(repeat):
+            with collect() as perf:
+                t0 = time.perf_counter()
+                run_cell(system, batch)
+                dt = time.perf_counter() - t0
+            if best is None or dt < best:
+                best = dt
+                counters = perf.counters()
+        out[system] = {
+            "seconds": best,
+            "batch": batch,
+            "counters": counters.as_dict(),
+        }
+    return out
+
+
+def run_suite(repeat: int = 3) -> dict:
+    return {
+        "micro": run_micro(repeat=repeat),
+        "macro_stress50": run_macro_stress50(repeat=repeat),
+    }
+
+
+# --------------------------------------------------------------- record
+
+
+def record_run(path: str, label: str, metrics: dict) -> dict:
+    """Record one labelled entry in the trajectory file at ``path``.
+
+    An entry with the same label is replaced (re-running a benchmark
+    refreshes its numbers); a new label appends, preserving the trajectory
+    of earlier PRs."""
+    doc: dict = {"benchmark": "engine", "runs": []}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    entry = {
+        "label": label,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "metrics": metrics,
+    }
+    runs = doc.setdefault("runs", [])
+    for i, existing in enumerate(runs):
+        if existing.get("label") == label:
+            runs[i] = entry
+            break
+    else:
+        runs.append(entry)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="Run engine micro/macro benchmarks; optionally record the trajectory.",
+    )
+    parser.add_argument("--out", default=None, metavar="PATH", help="append to a BENCH_*.json trajectory")
+    parser.add_argument("--label", default="dev", help="label for the recorded entry")
+    parser.add_argument("--repeat", type=int, default=3, help="best-of-N repetitions (default 3)")
+    parser.add_argument("--skip-macro", action="store_true", help="micro-benchmarks only")
+    args = parser.parse_args(argv[1:])
+
+    metrics: dict = {"micro": run_micro(repeat=args.repeat)}
+    if not args.skip_macro:
+        metrics["macro_stress50"] = run_macro_stress50(repeat=args.repeat)
+
+    for name, row in metrics["micro"].items():
+        print(f"  {name:<16} {row['events_per_second']:>12.0f} events/s  ({row['seconds']*1e3:.1f} ms)")
+    for system, row in metrics.get("macro_stress50", {}).items():
+        c = row["counters"]
+        print(
+            f"  stress50/{system:<6} {row['seconds']*1e3:>8.1f} ms/cell  "
+            f"({c['events_processed']} events, peak queue {c['peak_queue_depth']})"
+        )
+    if args.out:
+        record_run(args.out, args.label, metrics)
+        print(f"recorded '{args.label}' in {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -40,6 +40,8 @@ class RunRecord:
     params: dict
     seed: int
     rows: list[dict]
+    #: engine counters for the run (``--profile`` campaigns only)
+    perf: dict | None = None
 
 
 @dataclass
@@ -70,10 +72,10 @@ class CampaignResult:
         raise ConfigError(f"campaign has no scenario {name!r}")
 
 
-def _execute_payload(payload: tuple[str, int, dict, int, int]) -> RunRecord:
+def _execute_payload(payload: tuple[str, int, dict, int, int, bool]) -> RunRecord:
     """Worker entry point: look the scenario up (re-discovering in spawned
     interpreters) and run one grid point."""
-    scenario_name, index, params, seed, campaign_seed = payload
+    scenario_name, index, params, seed, campaign_seed, profile = payload
     discover()
     spec = get_scenario(scenario_name)
     run = ScenarioRun(
@@ -83,11 +85,44 @@ def _execute_payload(payload: tuple[str, int, dict, int, int]) -> RunRecord:
         seed=seed,
         campaign_seed=campaign_seed,
     )
-    rows = spec.run(run)
+    perf: dict | None = None
+    if profile:
+        from repro.perf.counters import collect
+
+        with collect() as collector:
+            rows = spec.run(run)
+        perf = collector.counters().as_dict()
+    else:
+        rows = spec.run(run)
     _check_rows(scenario_name, rows)
     return RunRecord(
-        scenario=scenario_name, index=index, params=dict(params), seed=seed, rows=rows
+        scenario=scenario_name,
+        index=index,
+        params=dict(params),
+        seed=seed,
+        rows=rows,
+        perf=perf,
     )
+
+
+def parse_filters(pairs: Sequence[str]) -> dict[str, str]:
+    """Parse repeated ``key=value`` CLI tokens into a filter mapping."""
+    filters: dict[str, str] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ConfigError(f"--filter expects key=value, got {pair!r}")
+        filters[key] = value
+    return filters
+
+
+def _matches(params: dict, filters: dict[str, str]) -> bool:
+    """A run matches when every filter key is a grid axis of the run and
+    its value's string form equals the filter value."""
+    for key, want in filters.items():
+        if key not in params or str(params[key]) != want:
+            return False
+    return True
 
 
 def _check_rows(name: str, rows: list[dict]) -> None:
@@ -119,12 +154,21 @@ class CampaignRunner:
         jobs: int = 1,
         seed: int = 0,
         out_dir: str | None = None,
+        filters: dict[str, str] | None = None,
+        profile: bool = False,
     ) -> None:
+        """``filters`` selects a grid subset (``{"system": "LIFL"}`` keeps
+        only runs whose expanded params match every pair; per-run seeds are
+        derived from the *unfiltered* expansion, so a filtered run equals
+        the same run in a full campaign).  ``profile`` attaches engine
+        counters to each :class:`RunRecord`."""
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.seed = seed
         self.out_dir = out_dir
+        self.filters = dict(filters) if filters else {}
+        self.profile = profile
 
     # ---------------------------------------------------------------- expand
     def expand(self, specs: Sequence[ScenarioSpec]) -> list[ScenarioRun]:
@@ -134,14 +178,18 @@ class CampaignRunner:
             raise ConfigError(f"duplicate scenarios in campaign: {names}")
         runs: list[ScenarioRun] = []
         for spec in specs:
-            runs.extend(spec.expand(self.seed))
+            expanded = spec.expand(self.seed)
+            if self.filters:
+                expanded = [r for r in expanded if _matches(dict(r.params), self.filters)]
+            runs.extend(expanded)
         return runs
 
     # --------------------------------------------------------------- execute
     def run(self, specs: Sequence[ScenarioSpec]) -> CampaignResult:
         runs = self.expand(specs)
         payloads = [
-            (r.scenario, r.index, dict(r.params), r.seed, r.campaign_seed) for r in runs
+            (r.scenario, r.index, dict(r.params), r.seed, r.campaign_seed, self.profile)
+            for r in runs
         ]
         if self.jobs > 1 and len(payloads) > 1:
             records = self._run_parallel(payloads)
@@ -154,7 +202,19 @@ class CampaignRunner:
         for spec in specs:
             recs = sorted(by_scenario.get(spec.name, []), key=lambda r: r.index)
             rows = [row for rec in recs for row in rec.rows]
-            text = spec.render(rows) if spec.render else default_render(spec, rows)
+            # Custom renders assume the full grid: on a filtered campaign a
+            # failing render falls back to the generic table; on a full
+            # campaign a render bug must surface, not be swallowed.
+            if spec.render and rows:
+                if self.filters:
+                    try:
+                        text = spec.render(rows)
+                    except Exception:
+                        text = default_render(spec, rows)
+                else:
+                    text = spec.render(rows)
+            else:
+                text = default_render(spec, rows)
             result.reports.append(ScenarioReport(spec=spec, records=recs, text=text))
         if self.out_dir:
             self.write_json(result)

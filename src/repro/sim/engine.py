@@ -13,6 +13,13 @@ The engine is deliberately minimal but complete for our workloads:
 * **Determinism**: ties in time are broken by insertion order, so repeated
   runs with the same seed produce identical traces — required for the
   experiment harness to be reproducible.
+* **Allocation discipline**: the hot path (schedule → pop → resume) avoids
+  throwaway objects.  A process reuses one preallocated event for the
+  already-processed-target resume; interrupts wake through a slotted event
+  instead of a closure; superseded timers are *cancelled* lazily (skipped
+  when popped) rather than processed as dead no-ops.
+* **Telemetry**: every environment counts its own heap traffic (see
+  :mod:`repro.perf.counters`); the counters are plain ints and always on.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.common.errors import SimulationError
+from repro.perf.counters import maybe_register
 
 ProcessGenerator = Generator["Event", Any, Any]
 
@@ -28,7 +36,7 @@ ProcessGenerator = Generator["Event", Any, Any]
 class Event:
     """A happening-at-a-point-in-time that processes can wait on."""
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused", "_cancelled")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -38,6 +46,7 @@ class Event:
         self._triggered = False
         self._processed = False
         self._defused = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -65,7 +74,16 @@ class Event:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        self._triggered = True
+        # _schedule(), inlined: succeed() is the second-hottest way onto
+        # the queue after Timeout.
+        env = self.env
+        env._eid += 1
+        queue = env._queue
+        heapq.heappush(queue, (env._now, env._eid, self))
+        depth = len(queue)
+        if depth > env.peak_queue_depth:
+            env.peak_queue_depth = depth
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -89,14 +107,27 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
+    # Timeouts are the single most common event; the constructor is written
+    # flat (no super() chain, scheduling inlined) to keep the per-wait cost
+    # down.
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, delay)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self._cancelled = False
+        self.delay = delay
+        env._eid += 1
+        queue = env._queue
+        heapq.heappush(queue, (env._now + delay, env._eid, self))
+        depth = len(queue)
+        if depth > env.peak_queue_depth:
+            env.peak_queue_depth = depth
 
 
 class Initialize(Event):
@@ -104,12 +135,63 @@ class Initialize(Event):
 
     __slots__ = ()
 
-    def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
-        self._ok = True
+    def __init__(self, env: "Environment", process: "Process", delay: float = 0.0) -> None:
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
-        self.callbacks.append(process._resume)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self._cancelled = False
+        env._eid += 1
+        queue = env._queue
+        heapq.heappush(queue, (env._now + delay, env._eid, self))
+        depth = len(queue)
+        if depth > env.peak_queue_depth:
+            env.peak_queue_depth = depth
+
+
+class _Immediate(Event):
+    """A process-private event used to resume after yielding an
+    already-processed target.  One per process, reused between waits."""
+
+    __slots__ = ()
+
+    def reset(self) -> None:
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+        self._cancelled = False
+
+
+class _InterruptWake(Event):
+    """Schedules interrupt delivery without allocating a closure."""
+
+    __slots__ = ("_process", "_cause")
+
+    def __init__(self, env: "Environment", process: "Process", cause: Any) -> None:
+        super().__init__(env)
+        self._process = process
+        self._cause = cause
+        self.callbacks.append(self._fire)
         env._schedule(self)
+
+    def _fire(self, _: Event) -> None:
+        proc = self._process
+        if proc._triggered:
+            return  # finished before the wake fired
+        # A delay-started process may be interrupted before its Initialize
+        # fired; retire the pending start so it cannot re-step the process
+        # after the interrupt finishes it.
+        init = proc._initialize
+        if init is not None and not init._processed and not init._cancelled:
+            proc.env.cancel(init)
+        # Detach from whatever event it was waiting on.
+        target = proc._target
+        if target is not None and proc._resume in target.callbacks:
+            target.callbacks.remove(proc._resume)
+        proc._step(Interrupt(self._cause), True)
 
 
 class Interrupt(Exception):
@@ -123,16 +205,21 @@ class Interrupt(Exception):
 class Process(Event):
     """A running generator; also an event that fires when it returns."""
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_immediate", "_initialize", "name")
 
-    def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = "") -> None:
+    def __init__(
+        self, env: "Environment", generator: ProcessGenerator, name: str = "", delay: float = 0.0
+    ) -> None:
         if not hasattr(generator, "throw"):
             raise SimulationError(f"process requires a generator, got {type(generator)!r}")
+        if delay < 0:
+            raise SimulationError(f"negative process start delay: {delay}")
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        self._immediate: Optional[_Immediate] = None
         self.name = name or getattr(generator, "__name__", "process")
-        Initialize(env, self)
+        self._initialize: Optional[Initialize] = Initialize(env, self, delay)
 
     @property
     def is_alive(self) -> bool:
@@ -142,30 +229,38 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self._triggered:
             return  # already finished; interruption is a no-op
-        env = self.env
-
-        def do_interrupt(_: Event) -> None:
-            if self._triggered:
-                return
-            # Detach from whatever event we were waiting on.
-            if self._target is not None and self._resume in self._target.callbacks:
-                self._target.callbacks.remove(self._resume)
-            self._step(Interrupt(cause), throw=True)
-
-        wake = Event(env)
-        wake.callbacks.append(do_interrupt)
-        wake.succeed()
+        _InterruptWake(self.env, self, cause)
 
     def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return  # finished (e.g. interrupted before a delayed start)
         self._target = None
         if event._ok:
-            self._step(event._value, throw=False)
+            self._step(event._value, False)
         else:
             event._defused = True
-            self._step(event._value, throw=True)
+            self._step(event._value, True)
 
-    def _step(self, value: Any, *, throw: bool) -> None:
-        self.env._active_process = self
+    def _finish(self) -> None:
+        """Complete the process synchronously.
+
+        A finished process used to schedule itself as a terminal event and
+        become *processed* one queue pop later (same instant).  That pop
+        was pure overhead — one dead heap entry per process — so
+        completion now happens inline: waiters resume within the current
+        event step, and an unhandled failure propagates immediately.
+        """
+        self._triggered = True
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks:
+            cb(self)
+        if not self._ok and not self._defused:
+            raise self._value
+
+    def _step(self, value: Any, throw: bool) -> None:
+        env = self.env
+        env._active_process = self
         try:
             if throw:
                 exc = value if isinstance(value, BaseException) else SimulationError(str(value))
@@ -173,30 +268,38 @@ class Process(Event):
             else:
                 target = self._generator.send(value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self._ok = True
             self._value = stop.value
-            self.env._schedule(self)
+            self._finish()
             return
         except BaseException as exc:  # propagate failure to waiters
-            self.env._active_process = None
+            env._active_process = None
             self._ok = False
             self._value = exc
-            self.env._schedule(self)
+            self._finish()
             return
-        self.env._active_process = None
+        env._active_process = None
         if not isinstance(target, Event):
             raise SimulationError(f"process {self.name!r} yielded non-event {target!r}")
-        if target.env is not self.env:
+        if target.env is not env:
             raise SimulationError("process yielded an event from a different environment")
         if target._processed:
             # Waiting on an already-processed event resumes immediately.
-            immediate = Event(self.env)
-            immediate._ok = target._ok
-            immediate._value = target._value
-            immediate.callbacks.append(self._resume)
-            self.env._schedule(immediate)
-            self._target = immediate
+            # Reuse the process's dedicated resume event when it is free
+            # (i.e. fully consumed by a previous wait); a fresh one is only
+            # allocated when the reusable event is still in the heap.
+            imm = self._immediate
+            if imm is None or (imm._triggered and not imm._processed):
+                imm = self._immediate = _Immediate(env)
+            else:
+                imm.reset()
+                env.immediate_reuses += 1
+            imm._ok = target._ok
+            imm._value = target._value
+            imm.callbacks = [self._resume]
+            env._schedule(imm)
+            self._target = imm
         else:
             target.callbacks.append(self._resume)
             self._target = target
@@ -267,11 +370,32 @@ class AnyOf(_Condition):
 class Environment:
     """The simulation clock plus the pending-event queue."""
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_eid",
+        "_active_process",
+        "dead_timer_skips",
+        "timers_cancelled",
+        "immediate_reuses",
+        "peak_queue_depth",
+    )
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        # -- engine telemetry (see repro.perf.counters) -------------------
+        # Only counters the hot path cannot derive are maintained as
+        # attributes; heap pushes/pops and events processed fall out of
+        # ``_eid`` and the queue length (every schedule pushes exactly one
+        # entry, and every popped entry is either processed or dead).
+        self.dead_timer_skips = 0
+        self.timers_cancelled = 0
+        self.immediate_reuses = 0
+        self.peak_queue_depth = 0
+        maybe_register(self)
 
     @property
     def now(self) -> float:
@@ -281,6 +405,19 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         return self._active_process
 
+    # -- telemetry (derived; see repro.perf.counters) --------------------
+    @property
+    def heap_pushes(self) -> int:
+        return self._eid
+
+    @property
+    def heap_pops(self) -> int:
+        return self._eid - len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        return self.heap_pops - self.dead_timer_skips
+
     # -- factory helpers -------------------------------------------------
     def event(self) -> Event:
         return Event(self)
@@ -288,8 +425,10 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
-        return Process(self, generator, name=name)
+    def process(self, generator: ProcessGenerator, name: str = "", delay: float = 0.0) -> Process:
+        """Spawn a process; ``delay`` defers its start without the cost of
+        an extra leading timeout event."""
+        return Process(self, generator, name=name, delay=delay)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -303,20 +442,59 @@ class Environment:
             raise SimulationError("event scheduled twice")
         event._triggered = True
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+        queue = self._queue
+        heapq.heappush(queue, (self._now + delay, self._eid, event))
+        depth = len(queue)
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+
+    def cancel(self, event: Event) -> None:
+        """Lazily cancel a scheduled event.
+
+        The entry stays in the heap; when popped it is skipped without
+        running callbacks (counted as a ``dead_timer_skip``).  Only
+        triggered, not-yet-processed events can be cancelled — this is how
+        resources and links retire superseded timers instead of letting
+        them rot in the queue.
+        """
+        if not event._triggered or event._processed:
+            raise SimulationError("cancel() needs a scheduled, unprocessed event")
+        if not event._cancelled:
+            event._cancelled = True
+            self.timers_cancelled += 1
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or +inf when idle."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next live scheduled event, or +inf when idle."""
+        queue = self._queue
+        while queue and queue[0][2]._cancelled:
+            heapq.heappop(queue)
+            self.dead_timer_skips += 1
+        return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event (advancing the clock to it)."""
-        if not self._queue:
+        """Process exactly one live event (advancing the clock to it).
+
+        Cancelled entries encountered on the way are discarded without
+        processing; if only cancelled entries remain the queue drains and
+        the call returns without advancing the clock.
+        """
+        queue = self._queue
+        if not queue:
             raise SimulationError("step() on an empty queue")
-        when, _, event = heapq.heappop(self._queue)
+        pop = heapq.heappop
+        while True:
+            when, _, event = pop(queue)
+            if not event._cancelled:
+                break
+            self.dead_timer_skips += 1
+            if not queue:
+                return
         self._now = when
         event._processed = True
-        callbacks, event.callbacks = event.callbacks, []
+        # Processed events no longer accept callbacks; dropping the list
+        # (instead of swapping in a fresh one) avoids one allocation per
+        # event on the hot path.
+        callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks:
             cb(event)
         if not event._ok and not event._defused:
@@ -329,20 +507,41 @@ class Environment:
         :class:`Event` (run until it fires; its value is returned), or
         ``None`` (run to quiescence).
         """
+        step = self.step
+        queue = self._queue
         if isinstance(until, Event):
+            # step(), inlined: this loop is the experiment harness's main
+            # loop — every simulated event of a round passes through it.
             stop = until
+            pop = heapq.heappop
             while not stop._processed:
-                if not self._queue:
+                if not queue:
                     raise SimulationError("deadlock: queue empty before `until` event fired")
-                self.step()
+                when, _, event = pop(queue)
+                if event._cancelled:
+                    self.dead_timer_skips += 1
+                    continue
+                self._now = when
+                event._processed = True
+                callbacks, event.callbacks = event.callbacks, None
+                for cb in callbacks:
+                    cb(event)
+                if not event._ok and not event._defused:
+                    raise event._value
             if not stop._ok:
                 raise stop._value
             return stop._value
         deadline = float("inf") if until is None else float(until)
         if deadline < self._now:
             raise SimulationError(f"run(until={deadline}) is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        # peek() prunes cancelled heads, so the guard never admits a step
+        # whose next *live* event lies beyond the deadline.
+        peek = self.peek
+        while True:
+            next_time = peek()
+            if not queue or next_time > deadline:
+                break
+            step()
         if deadline != float("inf"):
             self._now = deadline
         return None

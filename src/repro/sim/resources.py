@@ -27,7 +27,7 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, env: Environment, resource: "Resource") -> None:
-        super().__init__(env)
+        Event.__init__(self, env)
         self.resource = resource
 
     def __enter__(self) -> "Request":
@@ -193,7 +193,32 @@ class Store:
         self._drain()
         return ev
 
+    def put_nowait(self, item: Any) -> None:
+        """Deposit without a put event (fails instead of blocking).
+
+        Producers that never wait on the put (e.g. mailbox delivery) used
+        to schedule one dead event per item just to throw it away; this
+        path hands the item straight to the queue or the next getter.
+        """
+        if len(self.items) >= self.capacity:
+            raise SimulationError(f"put_nowait on a full store (capacity {self.capacity})")
+        getters = self._getters
+        if getters and not self.items and not self._putters:
+            getters.popleft().succeed(item)
+            return
+        self.items.append(item)
+        if getters:
+            self._drain()
+
     def get(self) -> Event:
+        items = self.items
+        if items and not self._getters:
+            # Immediate hit: deliver without routing through the waiter
+            # queue (the event is still consumed via the event loop).
+            ev = Event(self.env)
+            ev.succeed(items.popleft())
+            self._admit_putters()
+            return ev
         ev = Event(self.env)
         self._getters.append(ev)
         self._drain()

@@ -1,0 +1,77 @@
+"""Grid subset selection (``--filter``) and profiling on the campaign runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import CampaignRunner, parse_filters
+
+
+def test_parse_filters_multi_key():
+    assert parse_filters(["system=LIFL", "batch=900"]) == {
+        "system": "LIFL",
+        "batch": "900",
+    }
+
+
+def test_parse_filters_rejects_malformed():
+    with pytest.raises(ConfigError):
+        parse_filters(["no-equals-sign"])
+    with pytest.raises(ConfigError):
+        parse_filters(["=value"])
+
+
+def test_filter_selects_grid_subset():
+    spec = get_scenario("fig08")
+    full = CampaignRunner().expand([spec])
+    subset = CampaignRunner(filters={"batch": "100"}).expand([spec])
+    assert 0 < len(subset) < len(full)
+    assert all(run.params["batch"] == 100 for run in subset)
+
+
+def test_multi_key_filter_intersects():
+    spec = get_scenario("fig08")
+    subset = CampaignRunner(filters={"batch": "100", "config": "SL-H"}).expand([spec])
+    assert len(subset) == 1
+    assert subset[0].params == {"config": "SL-H", "batch": 100}
+
+
+def test_filter_preserves_indices_and_seeds():
+    """A filtered run must be the *same* run (index and derived seed) as in
+    the full campaign, so filtering never changes results."""
+    spec = get_scenario("fig08")
+    full = {run.index: run for run in CampaignRunner(seed=7).expand([spec])}
+    for run in CampaignRunner(seed=7, filters={"batch": "100"}).expand([spec]):
+        assert run.seed == full[run.index].seed
+        assert run.params == full[run.index].params
+
+
+def test_filter_key_missing_from_grid_matches_nothing():
+    spec = get_scenario("fig08")
+    assert CampaignRunner(filters={"nonexistent": "1"}).expand([spec]) == []
+
+
+def test_filtered_campaign_runs_only_subset():
+    spec = get_scenario("fig07")  # single run, no grid
+    result = CampaignRunner(filters={"setting": "nope"}).run([spec])
+    report = result.report_for("fig07")
+    assert report.records == []
+    assert "no rows" in report.text
+
+
+def test_profile_attaches_engine_counters():
+    spec = get_scenario("fig04")
+    result = CampaignRunner(profile=True, filters={"setting": "NH (kernel)"}).run([spec])
+    rec = result.report_for("fig04").records[0]
+    assert rec.perf is not None
+    assert rec.perf["environments"] >= 1
+    assert rec.perf["events_processed"] > 0
+    assert rec.perf["heap_pushes"] >= rec.perf["events_processed"]
+
+
+def test_profile_off_leaves_perf_none():
+    spec = get_scenario("fig13")
+    result = CampaignRunner().run([spec])
+    assert result.report_for("fig13").records[0].perf is None

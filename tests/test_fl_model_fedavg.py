@@ -146,3 +146,68 @@ def test_update_weight_validation():
 def test_dummy_parameters_capped():
     m = model_spec("resnet152").dummy_parameters(max_bytes=1e6)
     assert m.nbytes <= 1e6
+
+
+# ---- vectorized batch folding ---------------------------------------------------
+
+
+def test_weighted_sum_matches_serial_fold(rng):
+    models = [Model({"a": rng.standard_normal(16).astype(np.float32),
+                     "b": rng.standard_normal((4, 3)).astype(np.float32)}) for _ in range(10)]
+    weights = [float(w) for w in rng.uniform(0.5, 3.0, size=10)]
+    batched = Model.weighted_sum(models, weights)
+    serial = models[0].scaled(weights[0])
+    for m, w in zip(models[1:], weights[1:]):
+        serial.add_scaled_(m, w)
+    assert batched.allclose(serial)
+
+
+def test_weighted_sum_validates_inputs():
+    m = model_of(1.0)
+    with pytest.raises(ConfigError):
+        Model.weighted_sum([], [])
+    with pytest.raises(ConfigError):
+        Model.weighted_sum([m], [1.0, 2.0])
+    with pytest.raises(ConfigError):
+        Model.weighted_sum([m, Model({"other": np.zeros(3)})], [1.0, 2.0])
+
+
+def test_add_batch_equals_serial_below_and_above_threshold(rng):
+    from repro.fl.fedavg import BATCH_FOLD_THRESHOLD
+
+    for n in (BATCH_FOLD_THRESHOLD - 1, BATCH_FOLD_THRESHOLD + 4):
+        updates = [
+            ModelUpdate(
+                Model({"p": rng.standard_normal(32).astype(np.float32)}),
+                weight=float(rng.uniform(0.5, 4.0)),
+            )
+            for _ in range(n)
+        ]
+        serial = FedAvgAccumulator()
+        for u in updates:
+            serial.add(u)
+        batched = FedAvgAccumulator()
+        batched.add_batch(updates)
+        assert batched.count == serial.count == n
+        assert batched.total_weight == pytest.approx(serial.total_weight)
+        assert batched.result().model.allclose(serial.result().model)
+
+
+def test_add_batch_folds_into_existing_sum(rng):
+    updates = [
+        ModelUpdate(
+            Model({"p": rng.standard_normal(8).astype(np.float32)}),
+            weight=1.0 + i,
+        )
+        for i in range(12)
+    ]
+    acc = FedAvgAccumulator()
+    acc.add(updates[0])
+    acc.add_batch(updates[1:])
+    assert acc.result().model.allclose(federated_average(updates).model)
+
+
+def test_add_batch_empty_is_noop():
+    acc = FedAvgAccumulator()
+    acc.add_batch([])
+    assert acc.is_empty
