@@ -1,0 +1,44 @@
+"""Fault injection for the round engine (§3 resilience, made testable).
+
+The paper's resilience story — keep-alive failure detection, client
+over-provisioning, stateless aggregators restarting without state
+synchronization — is exercised here as a first-class subsystem:
+
+* :mod:`repro.chaos.plan` — :class:`FaultPlan`, a seeded, declarative
+  description of what goes wrong and when: aggregator crashes, client
+  dropout waves, NIC degradation windows, network partitions, slow-node
+  stragglers;
+* :mod:`repro.chaos.injector` — :class:`FaultInjector`, the process that
+  executes a plan against an installed round, and
+  :class:`RecoveryController`, the keep-alive/recovery loop that wires
+  :class:`~repro.fl.failures.HeartbeatMonitor` into the running round and
+  implements the over-provisioning recovery (shrinking aggregation goals,
+  aborting with :class:`~repro.common.errors.RoundAbort` below quorum).
+
+A round with no injector attached pays nothing: the hooks are inert and
+the engine's event sequence is byte-identical to the pre-chaos engine.
+"""
+
+from repro.chaos.injector import ChaosReport, FaultInjector, RecoveryController
+from repro.chaos.plan import (
+    AggregatorCrash,
+    DropoutWave,
+    FaultPlan,
+    NicDegrade,
+    PartitionWindow,
+    SlowNode,
+    random_fault_plan,
+)
+
+__all__ = [
+    "AggregatorCrash",
+    "ChaosReport",
+    "DropoutWave",
+    "FaultInjector",
+    "FaultPlan",
+    "NicDegrade",
+    "PartitionWindow",
+    "RecoveryController",
+    "SlowNode",
+    "random_fault_plan",
+]

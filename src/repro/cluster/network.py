@@ -17,12 +17,24 @@ flows, retime the single pending timer against the heap top.  Superseded
 timers are *cancelled* (skipped dead when popped) instead of being left to
 fire as no-ops — the counters in :mod:`repro.perf.counters` make the
 difference observable.
+
+Fault injection (:mod:`repro.chaos`) plugs in through two hooks:
+
+* :meth:`ProcessorSharingLink.set_rate_factor` rescales the link's
+  effective capacity mid-flow (NIC degradation; factor ``0`` freezes every
+  flow in place until the link is restored — a partition window);
+* :meth:`Fabric.set_node_rate_factor` / :meth:`Fabric.partition` /
+  :meth:`Fabric.heal` apply the same per node, composing a persistent
+  degradation factor with transient partition windows.
+
+The fabric also accepts a per-node NIC capacity at registration, so
+heterogeneous fleets (mixed 1/10/100 Gbps nodes) share one interconnect.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.common.errors import SimulationError
 from repro.sim.engine import Environment, Event, Timeout
@@ -63,14 +75,45 @@ class ProcessorSharingLink:
         self._last_update = env.now
         self._timer: Optional[Timeout] = None
         self.bytes_carried = 0.0
+        #: chaos hook state: effective rate = capacity × factor.  The rate
+        #: is precomputed so the hot path costs exactly what it did before
+        #: the hook existed (no per-advance multiply on healthy links).
+        self._factor = 1.0
+        self._rate_bps = self.capacity_bps
 
     @property
     def active_flows(self) -> int:
         return len(self._heap)
 
+    @property
+    def rate_factor(self) -> float:
+        """The chaos rescale factor currently applied (1.0 when healthy)."""
+        return self._factor
+
     def utilization_rate(self) -> float:
         """Current aggregate send rate (bytes/s)."""
-        return self.capacity_bps if self._heap else 0.0
+        return self._rate_bps if self._heap else 0.0
+
+    def set_rate_factor(self, factor: float) -> None:
+        """Rescale the link's effective capacity mid-flow (chaos hook).
+
+        In-flight flows keep their virtual finish points; only the clock's
+        advance rate changes, so service already received is preserved
+        exactly.  ``factor == 0`` freezes the link (a partition window):
+        flows neither progress nor time out until the factor is restored.
+        """
+        if factor < 0:
+            raise SimulationError(f"rate factor must be >= 0, got {factor}")
+        if factor == self._factor:
+            return
+        # Settle service accrued at the old rate before switching.
+        self._advance()
+        self._factor = float(factor)
+        self._rate_bps = self.capacity_bps * self._factor
+        timer = self._timer
+        if timer is not None and not timer._processed:
+            self.env.cancel(timer)
+        self._reschedule()
 
     def transfer(self, nbytes: float, label: str = "") -> Event:
         """Start a flow; the returned event fires at completion."""
@@ -105,7 +148,7 @@ class ProcessorSharingLink:
         if not heap:
             return
         n = len(heap)
-        rate = self.capacity_bps / n
+        rate = self._rate_bps / n
         if dt > 0:
             dv = rate * dt
             self._service += dv
@@ -123,11 +166,13 @@ class ProcessorSharingLink:
         """Arm a fresh timer for the next flow completion (the previous
         timer, if any, must be processed or cancelled by the caller)."""
         heap = self._heap
-        if not heap:
+        if not heap or self._rate_bps == 0.0:
+            # A frozen link (factor 0) arms no timer: nothing completes
+            # until set_rate_factor() restores a positive rate.
             self._timer = None
             return
         env = self.env
-        rate = self.capacity_bps / len(heap)
+        rate = self._rate_bps / len(heap)
         delay = (heap[0][0] - self._service) / rate
         if delay < 0:
             delay = 0.0
@@ -165,6 +210,9 @@ class Fabric:
     its completion time is governed by the slower of the two (modelled by
     running the bytes through both links sequentially at half size would be
     wrong — instead we take the max of two concurrent flow completions).
+
+    ``nic_bps`` is the default NIC capacity; :meth:`register_node` accepts
+    a per-node override for heterogeneous fleets.
     """
 
     def __init__(self, env: Environment, nic_bps: float) -> None:
@@ -172,18 +220,70 @@ class Fabric:
         self.nic_bps = float(nic_bps)
         self._tx: dict[str, ProcessorSharingLink] = {}
         self._rx: dict[str, ProcessorSharingLink] = {}
+        #: chaos state per node: persistent degradation factor and the set
+        #: of currently partitioned nodes.  Effective factor = 0 while
+        #: partitioned, the degradation factor otherwise.
+        self._degraded: dict[str, float] = {}
+        self._partitioned: set[str] = set()
 
-    def register_node(self, name: str) -> None:
+    def register_node(self, name: str, nic_bps: float | None = None) -> None:
         if name in self._tx:
             raise SimulationError(f"node {name!r} already registered on fabric")
-        self._tx[name] = ProcessorSharingLink(self.env, self.nic_bps, f"{name}/tx")
-        self._rx[name] = ProcessorSharingLink(self.env, self.nic_bps, f"{name}/rx")
+        bps = self.nic_bps if nic_bps is None else float(nic_bps)
+        self._tx[name] = ProcessorSharingLink(self.env, bps, f"{name}/tx")
+        self._rx[name] = ProcessorSharingLink(self.env, bps, f"{name}/rx")
 
     def tx_link(self, name: str) -> ProcessorSharingLink:
         return self._tx[name]
 
     def rx_link(self, name: str) -> ProcessorSharingLink:
         return self._rx[name]
+
+    # -- chaos hooks -------------------------------------------------------
+    def _require(self, name: str) -> None:
+        if name not in self._tx:
+            raise SimulationError(f"unknown node {name!r} on fabric")
+
+    def _apply(self, name: str) -> None:
+        factor = 0.0 if name in self._partitioned else self._degraded.get(name, 1.0)
+        self._tx[name].set_rate_factor(factor)
+        self._rx[name].set_rate_factor(factor)
+
+    def set_node_rate_factor(self, name: str, factor: float) -> None:
+        """Degrade (or restore) one node's NIC: both links rescale to
+        ``factor`` × capacity.  Composes with partitions — a healed node
+        returns to its degradation factor, not blindly to full rate."""
+        self._require(name)
+        if factor < 0:
+            raise SimulationError(f"rate factor must be >= 0, got {factor}")
+        if factor == 1.0:
+            self._degraded.pop(name, None)
+        else:
+            self._degraded[name] = float(factor)
+        self._apply(name)
+
+    def node_rate_factor(self, name: str) -> float:
+        self._require(name)
+        return 0.0 if name in self._partitioned else self._degraded.get(name, 1.0)
+
+    def partition(self, names: Iterable[str]) -> None:
+        """Sever the named nodes from the cluster: their TX/RX links freeze
+        (in-flight flows stall in place) until :meth:`heal`."""
+        for name in names:
+            self._require(name)
+            self._partitioned.add(name)
+            self._apply(name)
+
+    def heal(self, names: Iterable[str]) -> None:
+        """End a partition window; stalled flows resume where they froze."""
+        for name in names:
+            self._require(name)
+            self._partitioned.discard(name)
+            self._apply(name)
+
+    @property
+    def partitioned_nodes(self) -> set[str]:
+        return set(self._partitioned)
 
     def transfer(self, src: str, dst: str, nbytes: float, label: str = "") -> Event:
         """Move ``nbytes`` from ``src`` to ``dst``; fires when both NICs done.

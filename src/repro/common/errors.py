@@ -34,3 +34,24 @@ class RoutingError(LiflError):
 
 class CalibrationError(LiflError):
     """Calibration constants are inconsistent with the model they describe."""
+
+
+class ChaosError(LiflError):
+    """A fault plan is malformed or cannot be applied to this round."""
+
+
+class RoundAbort(LiflError):
+    """A chaos round lost too many clients to meet its quorum (§3).
+
+    Raised out of the round engine when the recovery controller determines
+    that the surviving clients can no longer cover the quorum — the typed
+    alternative to a hung round.
+    """
+
+    def __init__(self, survivors: int, quorum: int, total: int) -> None:
+        super().__init__(
+            f"round aborted: {survivors}/{total} clients survive, quorum is {quorum}"
+        )
+        self.survivors = survivors
+        self.quorum = quorum
+        self.total = total

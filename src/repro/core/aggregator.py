@@ -35,6 +35,15 @@ class InstanceState(str, Enum):
     STARTING = "starting"
     READY = "ready"
     FINISHED = "finished"
+    CRASHED = "crashed"
+
+
+#: mailbox sentinel depositing a goal re-check: a parked consumer whose
+#: aggregation goal shrank (client failures, §3) wakes, re-reads
+#: ``fan_in`` and either keeps receiving or emits with what it has.
+_GOAL_WAKE = MailboxItem(
+    weight=0.0, source="__goal_wake__", is_intermediate=True, enqueued_at=0.0
+)
 
 
 @dataclass
@@ -88,6 +97,11 @@ class AggregatorInstance:
         self._created = False
         self._ready_event: Event = Event(env)
         self._total_weight = 0.0
+        #: chaos support: when True, every consumed item is retained so a
+        #: stateless restart can re-read it (the shm object outlives the
+        #: instance).  Off by default — fault-free rounds pay nothing.
+        self.retain_inputs = False
+        self._consumed: list[MailboxItem] = []
         self.process = Process(env, self._run(), agg_id)
 
     # -- lifecycle ------------------------------------------------------------
@@ -121,10 +135,14 @@ class AggregatorInstance:
             self._ready_event.succeed()
             return
 
+        ready_event = self._ready_event
+
         def ready(_: Event) -> None:
+            if ready_event is not self._ready_event:
+                return  # the instance crashed and restarted mid-startup
             self.state = InstanceState.READY
             self.stats.ready_at = self.env.now
-            self._ready_event.succeed()
+            ready_event.succeed()
 
         self.env.timeout(startup).callbacks.append(ready)
 
@@ -134,6 +152,123 @@ class AggregatorInstance:
         The mailbox is unbounded and no producer waits on the deposit, so
         this takes the event-free path."""
         self.mailbox.put_nowait(item)
+
+    # -- chaos hooks (see repro.chaos) -----------------------------------------
+    def reduce_goal(self, by: int = 1) -> bool:
+        """Recovery hook (§3 over-provisioning): lower the aggregation goal
+        after declared client failures, so the instance can emit with the
+        updates that survive.  A consumer parked on an empty mailbox is
+        woken with a sentinel to re-check the goal; at goal 0 the instance
+        emits a zero-weight intermediate, keeping the tree unblocked.
+        Returns True when the goal actually changed."""
+        if by <= 0 or self.state is InstanceState.FINISHED:
+            return False
+        before = self.fan_in
+        self.fan_in = max(0, self.fan_in - by)
+        if self._created:
+            self.mailbox.put_nowait(_GOAL_WAKE)
+        return self.fan_in != before
+
+    def _retire_process(self) -> None:
+        """Terminate the running incarnation *synchronously*.
+
+        An async interrupt leaves a window (events already queued at the
+        same instant) in which the dead incarnation could keep consuming:
+        a same-instant delivery may have handed an item to its parked
+        mailbox getter, and a same-instant timeout could re-enter the Agg
+        step and corrupt the freshly reset accumulator.  So the kill is
+        immediate: reclaim any in-flight mailbox item back to the queue,
+        cancel the pending resume, detach from the wait target, and mark
+        the process finished so every later resume no-ops.
+        """
+        proc = self.process
+        if proc._triggered:  # noqa: SLF001 - instance owns its process
+            return
+        env = self.env
+        target = proc._target
+        if target is not None:
+            if (
+                target._triggered
+                and not target._processed
+                and not target._cancelled
+                and target._ok
+                and isinstance(target._value, MailboxItem)
+            ):
+                # A deposit already succeeded the dead incarnation's parked
+                # getter: the item left the store but was never received.
+                # Put it back at the head and retire the resume event.
+                env.cancel(target)
+                if target._value is not _GOAL_WAKE:
+                    self.mailbox.items.appendleft(target._value)
+            elif target.callbacks is not None and proc._resume in target.callbacks:
+                target.callbacks.remove(proc._resume)
+        init = proc._initialize
+        if init is not None and not init._processed and not init._cancelled:
+            env.cancel(init)
+        proc._value = None
+        proc._finish()  # no waiters; _ok stays True, so nothing raises
+
+    def crash(self) -> bool:
+        """Kill the running incarnation (fault injection).
+
+        Returns ``False`` when there is nothing to kill (never created, or
+        already finished).  The mailbox survives — in LIFL the queue holds
+        shm object *keys*, and the objects outlive the consumer — but the
+        dead incarnation's parked get is purged so a later deposit cannot
+        vanish into it.  A crashed instance stays dead until
+        :meth:`restart`."""
+        if not self._created or self.state is InstanceState.FINISHED:
+            return False
+        self._retire_process()
+        self.mailbox.drop_getters()
+        self.state = InstanceState.CRASHED
+        return True
+
+    def restart(self, startup_latency: float, reused: bool, startup_cpu: float = 0.0) -> None:
+        """Stateless restart after a crash (§3): "new ones start without
+        state synchronization" — the replacement re-reads the surviving
+        inputs from shared memory (``retain_inputs`` must have been on) and
+        re-aggregates from scratch.  ``reused`` restarts come from the warm
+        pool and are ready instantly; cold restarts pay ``startup_latency``.
+        """
+        if self.state is InstanceState.FINISHED:
+            raise SimulationError(f"{self.agg_id}: cannot restart a finished instance")
+        if not self._created:
+            raise SimulationError(f"{self.agg_id}: cannot restart before creation")
+        env = self.env
+        self.crash()  # synchronous kill + getter purge (no-op if already crashed)
+        if self._consumed:
+            # Re-enqueue ahead of anything still unread, preserving order.
+            self.mailbox.items.extendleft(reversed(self._consumed))
+            self._consumed = []
+        self._total_weight = 0.0
+        stats = self.stats
+        stats.restarts += 1
+        stats.updates_aggregated = 0
+        stats.client_updates = 0
+        stats.reused = reused
+        now = env.now
+        self.state = InstanceState.STARTING
+        ready_event = self._ready_event = Event(env)
+        self.process = Process(env, self._run(), self.agg_id)
+        if startup_latency <= 0.0:
+            self.state = InstanceState.READY
+            stats.ready_at = now
+            ready_event.succeed()
+            return
+        if startup_cpu > 0:
+            self._charge("restart", startup_cpu)
+        if self._record is not None:
+            self._record(self.agg_id, "restart", now, now + startup_latency)
+
+        def up(_: Event) -> None:
+            if ready_event is not self._ready_event:
+                return  # superseded by an even newer restart
+            self.state = InstanceState.READY
+            self.stats.ready_at = self.env.now
+            ready_event.succeed()
+
+        env.timeout(startup_latency).callbacks.append(up)
 
     # -- the step-based processing loop (Fig. 14) ------------------------------
     def _run(self) -> Generator[Event, object, None]:
@@ -148,6 +283,8 @@ class AggregatorInstance:
         record = self._record  # None when the round's telemetry is off
         stats = self.stats
         agg_id = self.agg_id
+        # ``fan_in`` is re-read each pass: the recovery controller may
+        # shrink the goal mid-round after declared client failures.
         fan_in = self.fan_in
         eager = self.eager
         costs = self.costs
@@ -155,6 +292,7 @@ class AggregatorInstance:
         recv_cpu = costs.recv_client_cpu
         agg_latency = costs.agg_latency
         agg_cpu = costs.agg_cpu
+        retain = self._consumed if self.retain_inputs else None
         received = 0
         aggregated = 0
         pending: deque[MailboxItem] = deque()
@@ -165,7 +303,12 @@ class AggregatorInstance:
                 item = mailbox_try_get()
                 if item is None:
                     item = yield mailbox_get()
+                if item is _GOAL_WAKE:
+                    fan_in = self.fan_in  # the goal shrank while parked
+                    continue
                 received += 1
+                if retain is not None:
+                    retain.append(item)
                 # Recv step: client updates pay the consumer-side ingress
                 # leg; intermediates' cost was paid on the transfer edge.
                 if not item.is_intermediate and recv_latency > 0:
@@ -188,8 +331,11 @@ class AggregatorInstance:
                 self._total_weight += item.weight
                 aggregated += 1
                 stats.updates_aggregated = aggregated
+                if not item.is_intermediate:
+                    stats.client_updates += 1
                 if eager:
                     break  # go back to Recv; overlap with later arrivals
+            fan_in = self.fan_in
         # Send step
         self.state = InstanceState.FINISHED
         now = env._now

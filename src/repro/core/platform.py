@@ -200,6 +200,7 @@ class AggregationPlatform:
         node_names: list[str] | None = None,
         cal: DataplaneCalibration = DEFAULT_CALIBRATION,
         node_spec: NodeSpec | None = None,
+        nic_bps_by_node: dict[str, float] | None = None,
     ) -> None:
         from repro.core.roundsim import RoundEngine  # cycle-free late import
 
@@ -208,7 +209,9 @@ class AggregationPlatform:
         self.node_spec = node_spec or NodeSpec(name="template")
         self.cal = cal
         self.placer = make_placer(config.placement_policy)
-        self.engine = RoundEngine(config, self.node_names, cal, self.node_spec)
+        self.engine = RoundEngine(
+            config, self.node_names, cal, self.node_spec, nic_bps_by_node=nic_bps_by_node
+        )
         self._round = 0
 
     # -- one full round: place, plan, simulate --------------------------------
@@ -296,12 +299,44 @@ class AggregationPlatform:
         nbytes: float,
         include_eval: bool = True,
         record_timeline: bool = True,
+        injector: object | None = None,
     ) -> RoundResult:
-        """Place → plan → simulate one round."""
+        """Place → plan → simulate one round.
+
+        ``injector`` (a :class:`repro.chaos.FaultInjector`) attaches fault
+        and recovery processes before the round runs."""
         updates = self.place_updates(arrivals, nbytes)
         plan = self.plan_round(updates)
         result = self.engine.run_round(
-            updates, plan, include_eval=include_eval, record_timeline=record_timeline
+            updates,
+            plan,
+            include_eval=include_eval,
+            record_timeline=record_timeline,
+            injector=injector,
         )
         self._round += 1
         return result
+
+    def run_multi_tenant(
+        self,
+        tenant_arrivals: list[list[tuple[float, float]]],
+        nbytes: float,
+        include_eval: bool = False,
+        record_timeline: bool = False,
+        injector: object | None = None,
+    ) -> list[RoundResult]:
+        """Place and plan each tenant's round independently, then simulate
+        all of them concurrently on one shared fabric (NIC contention is
+        the point; instances/CPU ledgers stay per-tenant)."""
+        tenants = []
+        for arrivals in tenant_arrivals:
+            updates = self.place_updates(arrivals, nbytes)
+            plan = self.plan_round(updates)
+            self._round += 1  # distinct round tags -> distinct agg ids
+            tenants.append((updates, plan))
+        return self.engine.run_multi_tenant(
+            tenants,
+            include_eval=include_eval,
+            record_timeline=record_timeline,
+            injector=injector,
+        )

@@ -20,6 +20,10 @@ class InstanceStats:
     cold_start: bool = False
     reused: bool = False
     updates_aggregated: int = 0
+    #: client (non-intermediate) updates folded in — survives goal math
+    client_updates: int = 0
+    #: stateless restarts after chaos-injected crashes (§3)
+    restarts: int = 0
 
     @property
     def active_seconds(self) -> float:
@@ -49,6 +53,16 @@ class RoundResult:
     timeline: EventLog = field(default_factory=EventLog)
     updates_aggregated: int = 0
     cross_node_transfers: int = 0
+    #: total FedAvg weight the top aggregator emitted (chaos invariant:
+    #: equals the summed weight of the client updates actually aggregated)
+    total_weight: float = 0.0
+    #: chaos bookkeeping — zero on fault-free rounds
+    aggregator_restarts: int = 0
+    clients_dropped: int = 0
+    #: True when the round lost its quorum (multi-tenant runs return the
+    #: aborted tenant's partial result instead of raising, so one tenant's
+    #: abort cannot destroy its neighbours' completed rounds)
+    aborted: bool = False
 
     @property
     def cpu_work(self) -> float:

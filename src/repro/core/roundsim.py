@@ -24,11 +24,24 @@ aggregator-to-aggregator transfer costs, and instance-lifecycle policy are
 stage objects resolved through the registries in :mod:`repro.core.stages`
 (select variants via ``PlatformConfig.ingress_stage`` /
 ``transfer_stage`` / ``lifecycle_stage``).
+
+Two extension points sit on top of the stages:
+
+* **Fault injection** — ``run_round(..., injector=...)`` hands the fully
+  installed round (a :class:`TenantRound`) to a
+  :class:`repro.chaos.FaultInjector` before the clock starts; the injector
+  attaches its fault and recovery processes to the same environment.  With
+  no injector the round is byte-identical to the pre-chaos engine.
+* **Multi-tenancy** — :meth:`RoundEngine.run_multi_tenant` installs several
+  rounds on ONE environment and ONE fabric, so concurrent tenants contend
+  for the same NIC links while keeping their own instances, ingress
+  resources, and CPU ledgers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro.cluster.network import Fabric
 from repro.cluster.node import NodeSpec, WorkerNode
@@ -49,7 +62,39 @@ from repro.dataplane.calibration import DEFAULT_CALIBRATION, DataplaneCalibratio
 from repro.sim.engine import Environment, Process
 from repro.sim.resources import Resource
 
-__all__ = ["RoundEngine", "WarmState", "required_leaf_capacity"]
+__all__ = ["RoundEngine", "TenantRound", "WarmState", "required_leaf_capacity"]
+
+
+@dataclass
+class TenantRound:
+    """One installed-but-not-yet-run round on a shared environment.
+
+    ``run_round`` installs exactly one; ``run_multi_tenant`` installs one
+    per tenant on a shared fabric.  The chaos subsystem receives these as
+    its handles: everything a :class:`~repro.chaos.FaultInjector` kills,
+    restarts, or re-goals hangs off this record.
+    """
+
+    label: str
+    updates: list[SimUpdate]
+    plan: HierarchyPlan
+    nbytes: float
+    nodes: dict[str, WorkerNode]
+    instances: dict[str, "object"]  # agg_id -> AggregatorInstance
+    ingress_procs: dict[int, Process]
+    leaf_assignment: dict[int, str]
+    top_done: "object"  # Event
+    result: RoundResult
+    record: Optional[Callable[[str, str, float, float], None]]
+    #: force-create an instance through the lifecycle stage (used by the
+    #: recovery controller when a reactive leaf lost all its clients and
+    #: must still emit its empty intermediate)
+    create: Callable[[object], None]
+    chaos_active: bool = False
+    #: chaos hook: called with the SimUpdate after each successful delivery
+    on_delivery: Optional[Callable[[SimUpdate], None]] = None
+    clients_dropped: int = 0
+    dropped_uids: set[int] = field(default_factory=set)
 
 
 @dataclass
@@ -79,6 +124,7 @@ class RoundEngine:
         node_names: list[str],
         cal: DataplaneCalibration = DEFAULT_CALIBRATION,
         node_spec: NodeSpec | None = None,
+        nic_bps_by_node: Mapping[str, float] | None = None,
     ) -> None:
         if not node_names:
             raise ConfigError("round engine needs at least one node")
@@ -86,6 +132,13 @@ class RoundEngine:
         self.cal = cal
         self.node_names = list(node_names)
         self.node_spec = node_spec or NodeSpec(name="template")
+        #: heterogeneous fleets: per-node NIC capacity overrides (bytes/s);
+        #: nodes absent from the map use ``node_spec.nic_bps``
+        self.nic_bps_by_node = dict(nic_bps_by_node) if nic_bps_by_node else None
+        if self.nic_bps_by_node:
+            unknown = set(self.nic_bps_by_node) - set(self.node_names)
+            if unknown:
+                raise ConfigError(f"NIC overrides for unknown nodes: {sorted(unknown)}")
         self.ingress = resolve_ingress(config)
         self.transfer = resolve_transfer(config)
         self.lifecycle = resolve_lifecycle(config)
@@ -120,6 +173,7 @@ class RoundEngine:
         plan: HierarchyPlan,
         include_eval: bool = True,
         record_timeline: bool = True,
+        injector: "object | None" = None,
     ) -> RoundResult:
         """Simulate one round; updates must already carry node assignments
         consistent with ``plan`` (the platform does placement first).
@@ -127,7 +181,123 @@ class RoundEngine:
         ``record_timeline=False`` swaps the timeline sink for a no-op —
         stress-scale rounds that never render a Gantt chart skip the
         per-event :class:`TimelineEvent` cost (the result's ``timeline``
-        stays empty)."""
+        stays empty).
+
+        ``injector`` (a :class:`repro.chaos.FaultInjector`, duck-typed)
+        attaches fault/recovery processes to the installed round before the
+        clock starts; it may raise
+        :class:`~repro.common.errors.RoundAbort` out of this call when the
+        round loses its quorum.  ``None`` leaves the round untouched.
+        """
+        env = Environment()
+        fabric = self._build_fabric(env)
+        tenant = self._install(env, fabric, updates, plan, record_timeline)
+        result = tenant.result
+        try:
+            if injector is not None:
+                injector.install(env=env, fabric=fabric, engine=self, tenants=[tenant])
+            result.act = float(env.run(until=tenant.top_done))
+        except Exception:
+            # The platform reclaims a failed round's pods like any other
+            # round's — skipping end_round on an abort (or on an injector
+            # rejecting its plan) would leak the warm slots the round
+            # consumed and distort every later round on this engine.  Only
+            # instances that actually came up are reclaimable: a reactive
+            # round that aborted early must not stock phantom warm pods.
+            self.lifecycle.end_round(self.config, _created_per_node(tenant.instances))
+            raise
+        self._finalize(tenant, include_eval)
+
+        # -- warm pool turnover -------------------------------------------
+        self.lifecycle.end_round(self.config, _instances_per_node(plan))
+        return result
+
+    def run_multi_tenant(
+        self,
+        tenants: Sequence[tuple[list[SimUpdate], HierarchyPlan]],
+        include_eval: bool = False,
+        record_timeline: bool = False,
+        injector: "object | None" = None,
+    ) -> list[RoundResult]:
+        """Run several tenants' rounds *concurrently* on one shared fabric.
+
+        Each tenant keeps its own aggregator instances, ingress resources,
+        and per-node CPU ledgers (namespaced deployments), but every
+        inter-node byte of every tenant crosses the same processor-sharing
+        NIC links — the contention multi-tenant scenarios measure.  Results
+        are returned in tenant order, each with its own ACT.
+
+        Tenants are failure-isolated: a tenant whose chaos round loses its
+        quorum gets ``result.aborted = True`` (partial bookkeeping, ACT 0)
+        instead of raising, so one tenant's abort cannot destroy its
+        neighbours' completed rounds.
+        """
+        if not tenants:
+            raise ConfigError("multi-tenant round needs at least one tenant")
+        env = Environment()
+        fabric = self._build_fabric(env)
+        installed = [
+            self._install(env, fabric, updates, plan, record_timeline, label=f"t{i}")
+            for i, (updates, plan) in enumerate(tenants)
+        ]
+
+        def _settled(tenant: TenantRound):
+            # Fires when the tenant's round either completes or aborts; an
+            # abort is defused here so it cannot crash the shared run loop.
+            done = env.event()
+
+            def on_top(ev) -> None:
+                if not ev._ok:
+                    ev.defuse()
+                done.succeed()
+
+            tenant.top_done.callbacks.append(on_top)
+            return done
+
+        try:
+            if injector is not None:
+                injector.install(env=env, fabric=fabric, engine=self, tenants=installed)
+            env.run(until=env.all_of([_settled(t) for t in installed]))
+        except Exception:
+            # Same warm-pool reclamation as run_round: a rejected plan (or
+            # an engine error) must not leak the tenants' warm slots, and
+            # never-created instances must not become phantom warm pods.
+            for tenant in installed:
+                self.lifecycle.end_round(self.config, _created_per_node(tenant.instances))
+            raise
+        results = []
+        for tenant in installed:
+            if tenant.top_done.ok:
+                tenant.result.act = float(tenant.top_done.value)
+                self._finalize(tenant, include_eval)
+                self.lifecycle.end_round(self.config, _instances_per_node(tenant.plan))
+            else:
+                tenant.result.aborted = True
+                tenant.result.act = 0.0
+                self._finalize(tenant, include_eval=False)
+                self.lifecycle.end_round(self.config, _created_per_node(tenant.instances))
+            results.append(tenant.result)
+        return results
+
+    # ------------------------------------------------------------ installation
+    def _build_fabric(self, env: Environment) -> Fabric:
+        fabric = Fabric(env, self.node_spec.nic_bps)
+        overrides = self.nic_bps_by_node
+        for name in self.node_names:
+            fabric.register_node(name, overrides.get(name) if overrides else None)
+        return fabric
+
+    def _install(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        updates: list[SimUpdate],
+        plan: HierarchyPlan,
+        record_timeline: bool = True,
+        label: str = "",
+    ) -> TenantRound:
+        """Build one round's processes and resources on ``env``/``fabric``
+        without running it; returns the :class:`TenantRound` handle."""
         if not updates:
             raise ConfigError("round needs at least one update")
         if not plan.aggregators:
@@ -139,7 +309,6 @@ class RoundEngine:
         costs = self._costs_for(nbytes)
         cfg = self.config
 
-        env = Environment()
         timeline = EventLog()
         nodes = {name: WorkerNode(env, NodeSpec(
             name=name,
@@ -148,9 +317,6 @@ class RoundEngine:
             nic_bps=self.node_spec.nic_bps,
             max_service_capacity=self.node_spec.max_service_capacity,
         )) for name in self.node_names}
-        fabric = Fabric(env, self.node_spec.nic_bps)
-        for name in self.node_names:
-            fabric.register_node(name)
 
         # -- ingress resources ---------------------------------------------
         ingress_res: dict[str, Resource] = self.ingress.build_resources(
@@ -169,7 +335,9 @@ class RoundEngine:
             finished_on_node[inst.node] = finished_on_node.get(inst.node, 0) + 1
             spec = plan.aggregators[inst.agg_id]
             if spec.role is Role.TOP:
-                top_done.succeed(now)
+                result.total_weight = weight
+                if not top_done.triggered:  # an aborting round may already
+                    top_done.succeed(now)   # have failed the event
                 return
             parent_spec = plan.aggregators[spec.parent]
             if inst.node == parent_spec.node:
@@ -257,46 +425,84 @@ class RoundEngine:
         ingress_cpu = costs.ingress_cpu
 
         def _ingress(update: SimUpdate, leaf_id: str):
-            # started with delay=arrival_time — no leading arrival timeout
+            # started with delay=arrival_time — no leading arrival timeout.
+            # ``held`` tracks the admission slot currently claimed so a
+            # chaos interrupt (client dropout mid-ingress) releases it in
+            # the ``finally`` instead of leaking the slot forever.
             node = update.node
             res = ingress_res[node]
-            req = res.request()
-            yield req
-            t0 = env._now
-            yield timeout(ingress_latency)
-            res.release(req)
-            nodes[node].cpu.charge("ingress", ingress_cpu)
-            if record is not None:
-                record(f"{node}/gw", "network", t0, env._now)
-            leaf = instances[leaf_id]
-            if leaf.node != node:
-                # Locality-agnostic placement (§2.3): the update was queued
-                # on one node but its aggregator pod lives on another —
-                # one full inter-node hop before the leaf can consume it.
-                result.cross_node_transfers += 1
-                yield timeout(costs.inter_tx_latency)
-                nodes[node].cpu.charge("dataplane", costs.inter_tx_cpu)
-                yield fabric.transfer(node, leaf.node, nbytes, label=f"u{update.uid}")
-                req2 = ingress_res[leaf.node].request()
-                yield req2
-                yield timeout(costs.inter_rx_latency)
-                ingress_res[leaf.node].release(req2)
-                nodes[leaf.node].cpu.charge("dataplane", costs.inter_rx_cpu)
+            held = res.request()
+            try:
+                yield held
+                t0 = env._now
+                yield timeout(ingress_latency)
+                res.release(held)
+                held = None
+                nodes[node].cpu.charge("ingress", ingress_cpu)
                 if record is not None:
-                    record(f"u{update.uid}", "network", t0, env._now)
-            _deliver(leaf, MailboxItem(update.weight, update.client_id, False, env._now))
+                    record(f"{node}/gw", "network", t0, env._now)
+                leaf = instances[leaf_id]
+                if leaf.node != node:
+                    # Locality-agnostic placement (§2.3): the update was
+                    # queued on one node but its aggregator pod lives on
+                    # another — one full inter-node hop before the leaf can
+                    # consume it.
+                    result.cross_node_transfers += 1
+                    yield timeout(costs.inter_tx_latency)
+                    nodes[node].cpu.charge("dataplane", costs.inter_tx_cpu)
+                    yield fabric.transfer(node, leaf.node, nbytes, label=f"u{update.uid}")
+                    held = ingress_res[leaf.node].request()
+                    yield held
+                    yield timeout(costs.inter_rx_latency)
+                    ingress_res[leaf.node].release(held)
+                    held = None
+                    nodes[leaf.node].cpu.charge("dataplane", costs.inter_rx_cpu)
+                    if record is not None:
+                        record(f"u{update.uid}", "network", t0, env._now)
+                _deliver(leaf, MailboxItem(update.weight, update.client_id, False, env._now))
+                cb = tenant.on_delivery
+                if cb is not None:
+                    cb(update)
+            finally:
+                if held is not None:
+                    held.resource.release(held)
 
+        ingress_procs: dict[int, Process] = {}
         for update in updates:
-            Process(
+            ingress_procs[update.uid] = Process(
                 env,
                 _ingress(update, leaf_assignment[update.uid]),
                 f"in:{update.uid}",
                 update.arrival_time,
             )
 
-        # -- run -------------------------------------------------------------------
-        act_value = env.run(until=top_done)
-        result.act = float(act_value)
+        tenant = TenantRound(
+            label=label,
+            updates=updates,
+            plan=plan,
+            nbytes=nbytes,
+            nodes=nodes,
+            instances=instances,
+            ingress_procs=ingress_procs,
+            leaf_assignment=leaf_assignment,
+            top_done=top_done,
+            result=result,
+            record=record,
+            create=_create,
+        )
+        return tenant
+
+    # ------------------------------------------------------------- bookkeeping
+    def _finalize(self, tenant: TenantRound, include_eval: bool) -> None:
+        """Post-run accounting for one installed round (eval task, chain
+        overhead, instance stats, CPU ledgers)."""
+        cfg = self.config
+        result = tenant.result
+        plan = tenant.plan
+        nodes = tenant.nodes
+        updates = tenant.updates
+        instances = tenant.instances
+        record = tenant.record
         if include_eval:
             top_node = plan.top.node
             nodes[top_node].charge_cpu(self.cal.eval_task_cpu, "eval")
@@ -306,7 +512,7 @@ class RoundEngine:
         else:
             result.completion_time = result.act
         chain = len(updates) * (
-            cfg.chain_overhead_fixed_per_update + cfg.chain_overhead_per_byte * nbytes
+            cfg.chain_overhead_fixed_per_update + cfg.chain_overhead_per_byte * tenant.nbytes
         )
         if chain > 0:
             # Serialized distribution/scale-up overhead (see PlatformConfig).
@@ -328,10 +534,16 @@ class RoundEngine:
             for comp, secs in node.cpu.buckets.items():
                 result.cpu_by_component[comp] = result.cpu_by_component.get(comp, 0.0) + secs
         result.cpu_reserved = self._reserved_cpu(result)
-
-        # -- warm pool turnover -----------------------------------------------------------
-        self.lifecycle.end_round(cfg, _instances_per_node(plan))
-        return result
+        if tenant.chaos_active:
+            # Under fault injection the static ``len(updates)`` overstates
+            # what survived; report what the tree actually folded in.
+            result.updates_aggregated = sum(
+                i.stats.client_updates for i in instances.values()
+            )
+            result.aggregator_restarts = sum(
+                i.stats.restarts for i in instances.values()
+            )
+            result.clients_dropped = tenant.clients_dropped
 
     def _reserved_cpu(self, result: RoundResult) -> float:
         cfg = self.config
@@ -434,6 +646,17 @@ def _instances_per_node(plan: HierarchyPlan) -> dict[str, int]:
     out: dict[str, int] = {}
     for spec in plan.aggregators.values():
         out[spec.node] = out.get(spec.node, 0) + 1
+    return out
+
+
+def _created_per_node(instances: dict) -> dict[str, int]:
+    """Warm-reclaimable instances of a *failed* round: only those that
+    actually came up (reactive rounds may abort with most of the plan
+    never created)."""
+    out: dict[str, int] = {}
+    for inst in instances.values():
+        if inst._created:  # noqa: SLF001 - engine owns its instances
+            out[inst.node] = out.get(inst.node, 0) + 1
     return out
 
 

@@ -367,6 +367,16 @@ class LifecycleStage:
     def end_round(self, cfg: PlatformConfig, instances_per_node: dict[str, int]) -> None:
         raise NotImplementedError
 
+    def restart_instance(self, inst, env: Environment, cfg: PlatformConfig) -> None:
+        """Bring a crashed instance back (fault injection).  Only stages
+        that implement the paper's stateless-restart recovery support this;
+        everything else refuses loudly so a chaos scenario cannot silently
+        run without recovery."""
+        raise ConfigError(
+            f"lifecycle stage {self.name!r} cannot restart crashed aggregators; "
+            f"select the 'resilient' stage for chaos rounds"
+        )
+
 
 LIFECYCLE_STAGES: StageRegistry[LifecycleStage] = StageRegistry("lifecycle")
 
@@ -422,6 +432,44 @@ class WarmPoolLifecycle(LifecycleStage):
         if cfg.reuse:
             for node, count in instances_per_node.items():
                 self.warm.put(node, count)
+
+
+@LIFECYCLE_STAGES.register("resilient")
+class ResilientLifecycle(WarmPoolLifecycle):
+    """Warm-pool lifecycle plus the paper's §3 failure recovery: stateless
+    aggregators restart without state synchronization.
+
+    A restart prefers the warm pool (an idle warm runtime takes over the
+    crashed instance's mailbox instantly); otherwise the replacement pays a
+    cold start.  The stage keeps per-round restart accounting so scenarios
+    and tests can assert how recovery was funded.
+    """
+
+    name = "resilient"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.restarts = 0
+        self.warm_restarts = 0
+        self.cold_restarts = 0
+
+    def begin_round(self) -> None:
+        super().begin_round()
+        self.restarts = 0
+        self.warm_restarts = 0
+        self.cold_restarts = 0
+
+    def restart_instance(self, inst, env: Environment, cfg: PlatformConfig) -> None:
+        self.restarts += 1
+        reused = cfg.reuse and self.warm.take(inst.node)
+        if reused:
+            self.warm_restarts += 1
+            inst.restart(0.0, reused=True)
+        else:
+            self.cold_restarts += 1
+            inst.restart(
+                cfg.cold_start_latency, reused=False, startup_cpu=cfg.cold_start_cpu
+            )
 
 
 def resolve_lifecycle(cfg: PlatformConfig) -> LifecycleStage:

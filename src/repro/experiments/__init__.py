@@ -42,17 +42,23 @@ from repro.experiments import (  # noqa: F401  (import order = catalogue order)
     capacity,
     mixed_fleet,
     stress50,
+    chaos_sweep,
+    hetero_nic,
+    stress500,
 )
 
 __all__ = [
     "capacity",
+    "chaos_sweep",
     "fig04_hierarchy_dataplane",
     "fig07_dataplane",
     "fig08_orchestration",
     "fig09_fl_workloads",
     "fig10_timeseries",
     "fig13_queuing",
+    "hetero_nic",
     "mixed_fleet",
     "overhead",
     "stress50",
+    "stress500",
 ]

@@ -45,6 +45,17 @@ class HeartbeatMonitor:
         return self._last_seen.get(client_id)
 
     def is_alive(self, client_id: str, now: float) -> bool:
+        """A client is alive when tracked, not declared failed, and its last
+        beat is within the timeout.
+
+        The declared-failed check matters: once :meth:`sweep` declares a
+        client, only a fresh :meth:`beat` revives it.  Without the check an
+        out-of-order query (``now`` earlier than the declaring sweep) would
+        report a declared-failed client as alive, and the recovery layer
+        would disagree with :attr:`failed` about who is gone.
+        """
+        if client_id in self._declared_failed:
+            return False
         seen = self._last_seen.get(client_id)
         return seen is not None and (now - seen) <= self.timeout
 
@@ -77,7 +88,10 @@ def apply_dropouts(
     """
     if not 0.0 <= dropout_rate < 1.0:
         raise ConfigError(f"dropout_rate must be in [0, 1), got {dropout_rate}")
-    if dropout_rate == 0.0:
+    if dropout_rate == 0.0 or not trace.arrivals:
+        # An already-empty round has nothing to drop; returning early keeps
+        # the RNG stream untouched so downstream draws are unaffected by
+        # whether an empty round passed through the dropout stage.
         return RoundTrace(arrivals=list(trace.arrivals)), []
     mask = rng.uniform(size=len(trace.arrivals)) >= dropout_rate
     survivors = [a for a, keep in zip(trace.arrivals, mask) if keep]

@@ -148,10 +148,37 @@ def run_macro_stress50(repeat: int = 3, batch: int = 900) -> dict:
     return out
 
 
+def run_macro_stress500(repeat: int = 3, tenants: int = 4) -> dict:
+    """Wall-clock of one warm+measured ``stress500-multitenant`` cell per
+    system (``tenants`` concurrent 300-update rounds on 500 shared-fabric
+    nodes), plus the engine counters of the best run."""
+    from repro.experiments.stress500 import run_cell
+
+    out: dict[str, dict] = {}
+    for system in ("LIFL", "SL-H"):
+        best = None
+        counters = EngineCounters()
+        for _ in range(repeat):
+            with collect() as perf:
+                t0 = time.perf_counter()
+                run_cell(system, tenants)
+                dt = time.perf_counter() - t0
+            if best is None or dt < best:
+                best = dt
+                counters = perf.counters()
+        out[system] = {
+            "seconds": best,
+            "tenants": tenants,
+            "counters": counters.as_dict(),
+        }
+    return out
+
+
 def run_suite(repeat: int = 3) -> dict:
     return {
         "micro": run_micro(repeat=repeat),
         "macro_stress50": run_macro_stress50(repeat=repeat),
+        "macro_stress500": run_macro_stress500(repeat=repeat),
     }
 
 
@@ -197,9 +224,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--skip-macro", action="store_true", help="micro-benchmarks only")
     args = parser.parse_args(argv[1:])
 
-    metrics: dict = {"micro": run_micro(repeat=args.repeat)}
-    if not args.skip_macro:
-        metrics["macro_stress50"] = run_macro_stress50(repeat=args.repeat)
+    if args.skip_macro:
+        metrics: dict = {"micro": run_micro(repeat=args.repeat)}
+    else:
+        metrics = run_suite(repeat=args.repeat)
 
     for name, row in metrics["micro"].items():
         print(f"  {name:<16} {row['events_per_second']:>12.0f} events/s  ({row['seconds']*1e3:.1f} ms)")
@@ -208,6 +236,13 @@ def main(argv: list[str]) -> int:
         print(
             f"  stress50/{system:<6} {row['seconds']*1e3:>8.1f} ms/cell  "
             f"({c['events_processed']} events, peak queue {c['peak_queue_depth']})"
+        )
+    for system, row in metrics.get("macro_stress500", {}).items():
+        c = row["counters"]
+        print(
+            f"  stress500/{system:<5} {row['seconds']*1e3:>8.1f} ms/cell  "
+            f"({row['tenants']} tenants, {c['events_processed']} events, "
+            f"peak queue {c['peak_queue_depth']})"
         )
     if args.out:
         record_run(args.out, args.label, metrics)

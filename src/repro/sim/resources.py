@@ -224,6 +224,18 @@ class Store:
         self._drain()
         return ev
 
+    def drop_getters(self) -> int:
+        """Forget every parked getter (chaos hook; returns the count).
+
+        A single-consumer store whose consumer died mid-wait keeps the dead
+        consumer's get event in the queue; a later deposit would hand the
+        item to that dead event and lose it.  A stateless restart purges
+        the old incarnation's getters before the replacement attaches.
+        """
+        n = len(self._getters)
+        self._getters.clear()
+        return n
+
     def try_get(self) -> Optional[Any]:
         """Non-blocking pop; None when empty (used by eager aggregation)."""
         self._drain()

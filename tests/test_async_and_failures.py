@@ -130,6 +130,39 @@ def test_heartbeat_unknown_client_not_alive():
         HeartbeatMonitor(timeout=0.0)
 
 
+def test_heartbeat_declared_failed_dominates_is_alive():
+    """Edge surfaced by wiring the monitor into chaos rounds: once sweep
+    declares a client failed, is_alive must say dead even for a query
+    timestamp inside the original beat window — recovery happens only
+    through a fresh beat."""
+    hb = HeartbeatMonitor(timeout=10.0)
+    hb.beat("c1", now=0.0)
+    assert hb.sweep(now=11.0) == ["c1"]
+    # out-of-order (or replayed) query inside the old window: still dead
+    assert not hb.is_alive("c1", now=5.0)
+    assert not hb.is_alive("c1", now=11.0)
+    # only a fresh keep-alive revives the client
+    hb.beat("c1", now=12.0)
+    assert hb.is_alive("c1", now=13.0)
+    assert hb.failed == set()
+    # and a later silence re-declares it (fresh failure reported again)
+    assert hb.sweep(now=30.0) == ["c1"]
+
+
+def test_dropouts_of_already_empty_round():
+    """Edge surfaced by mid-round dropout waves: a wave can hit a round
+    whose arrivals were all consumed/dropped already.  It must no-op and
+    leave the RNG stream untouched."""
+    rng = make_rng(3, "empty")
+    from repro.workloads.traces import RoundTrace
+
+    empty = RoundTrace(arrivals=[])
+    state_before = rng.bit_generator.state
+    survived, dropped = apply_dropouts(empty, dropout_rate=0.5, rng=rng)
+    assert len(survived) == 0 and dropped == []
+    assert rng.bit_generator.state == state_before
+
+
 def test_dropouts_preserve_goal_with_over_provisioning():
     """§3's resilience claim: with 2x over-provisioning, a 30% dropout
     round still meets the aggregation goal."""

@@ -142,3 +142,80 @@ def test_engine_exposes_stage_objects_and_warm_alias():
     engine = RoundEngine(PlatformConfig.lifl(), ["node0"])
     assert isinstance(engine.ingress, GatewayIngress)
     assert engine.warm is engine.lifecycle.warm
+
+
+def test_lifecycle_stage_raising_mid_round_propagates():
+    """A stage that blows up during instance creation must surface, not be
+    swallowed by the event loop."""
+    registered = "exploding" in LIFECYCLE_STAGES.names()
+    if not registered:
+
+        @LIFECYCLE_STAGES.register("exploding")
+        class ExplodingLifecycle(WarmPoolLifecycle):
+            name = "exploding"
+
+            def ensure_created(self, inst, env, cfg, finished_on_node):
+                raise RuntimeError("stage failed mid-round")
+
+    cfg = PlatformConfig.lifl(lifecycle_stage="exploding")
+    with pytest.raises(RuntimeError, match="stage failed mid-round"):
+        RoundEngine(cfg, ["node0"]).run_round(_updates(), _one_node_plan(), include_eval=False)
+
+
+def test_base_lifecycle_cannot_restart_crashed_instances():
+    stage = WarmPoolLifecycle()
+    with pytest.raises(ConfigError, match="resilient"):
+        stage.restart_instance(object(), None, PlatformConfig.lifl())
+
+
+def test_resilient_lifecycle_restart_accounting_warm_then_cold():
+    """A restart is funded from the warm pool when one is available on the
+    node (instant takeover), otherwise it pays a cold start."""
+    from repro.core.aggregator import AggregatorCosts, AggregatorInstance, InstanceState
+    from repro.core.stages import ResilientLifecycle
+    from repro.sim.engine import Environment
+
+    env = Environment()
+    inst = AggregatorInstance(
+        env=env,
+        agg_id="leaf0",
+        node="node0",
+        role="leaf",
+        fan_in=2,
+        costs=AggregatorCosts(0.0, 0.0, 0.1, 0.0, 2.0, 1.0),
+        eager=True,
+        charge_cpu=lambda comp, secs: None,
+        on_output=lambda *a: None,
+        record=None,
+    )
+    inst.ensure_created(reused=True)
+    env.run(until=1.0)
+    cfg = PlatformConfig.lifl(lifecycle_stage="resilient")
+    stage = ResilientLifecycle()
+    stage.warm.put("node0", 1)
+
+    stage.restart_instance(inst, env, cfg)
+    assert (stage.restarts, stage.warm_restarts, stage.cold_restarts) == (1, 1, 0)
+    assert inst.state is InstanceState.READY  # warm takeover is instant
+    assert stage.warm.total() == 0
+
+    stage.restart_instance(inst, env, cfg)  # pool empty -> cold restart
+    assert (stage.restarts, stage.warm_restarts, stage.cold_restarts) == (2, 1, 1)
+    assert inst.state is InstanceState.STARTING
+    env.run()
+    assert inst.stats.restarts == 2
+
+    # begin_round resets the per-round accounting but keeps the pool
+    stage.warm.put("node0", 2)
+    stage.begin_round()
+    assert (stage.restarts, stage.warm_restarts, stage.cold_restarts) == (0, 0, 0)
+    assert stage.warm.total() == 2
+
+
+def test_resilient_stage_registered_and_resolves():
+    from repro.core.stages import ResilientLifecycle
+
+    assert "resilient" in LIFECYCLE_STAGES.names()
+    stage = resolve_lifecycle(PlatformConfig.lifl(lifecycle_stage="resilient"))
+    assert isinstance(stage, ResilientLifecycle)
+    assert isinstance(stage, WarmPoolLifecycle)  # inherits warm-pool behaviour

@@ -1,0 +1,48 @@
+"""Golden determinism for the chaos-era scenarios.
+
+Same campaign seed ⇒ byte-identical per-scenario JSON for the three new
+scenarios — sequential vs ``--jobs 4``, with and without ``--profile``.
+This is the satellite guard for the chaos subsystem's seeding discipline:
+every random choice (dropout victims, crash victims, arrival jitter)
+derives from the campaign seed, never from process or scheduling state.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import CampaignRunner
+
+SCENARIOS = ("chaos-sweep", "hetero-nic", "stress500-multitenant")
+SEED = 11
+
+
+def _campaign_json(tmp_path, subdir: str, jobs: int, profile: bool) -> dict[str, bytes]:
+    out_dir = str(tmp_path / subdir)
+    runner = CampaignRunner(jobs=jobs, seed=SEED, out_dir=out_dir, profile=profile)
+    result = runner.run([get_scenario(name) for name in SCENARIOS])
+    blobs: dict[str, bytes] = {}
+    for name in os.listdir(out_dir):
+        with open(os.path.join(out_dir, name), "rb") as fh:
+            blobs[name] = fh.read()
+    return blobs, result
+
+
+def test_chaos_scenarios_golden_json_seq_vs_parallel_vs_profile(tmp_path):
+    seq, seq_result = _campaign_json(tmp_path, "seq", jobs=1, profile=False)
+    par, par_result = _campaign_json(tmp_path, "par", jobs=4, profile=False)
+    prof, prof_result = _campaign_json(tmp_path, "prof", jobs=4, profile=True)
+    assert set(seq) == {f"{name}.json" for name in SCENARIOS}
+    for name in seq:
+        assert seq[name] == par[name], f"{name}: sequential vs --jobs 4 differ"
+        assert seq[name] == prof[name], f"{name}: --profile changed the JSON"
+    # the rendered reports match too, not just the row files
+    for seq_rep, par_rep in zip(seq_result.reports, par_result.reports):
+        assert seq_rep.text == par_rep.text
+    # profiling actually attached counters without touching the rows
+    assert all(rec.perf is None for rep in seq_result.reports for rec in rep.records)
+    prof_records = [rec for rep in prof_result.reports for rec in rep.records]
+    assert prof_records
+    assert all(rec.perf is not None for rec in prof_records)
+    assert all(rec.perf["events_processed"] > 0 for rec in prof_records)

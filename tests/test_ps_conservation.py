@@ -119,6 +119,153 @@ def test_ps_link_bytes_carried_monotonic_under_partial_run(schedule):
     assert link.bytes_carried <= total * (1 + 1e-9) + 1e-6
 
 
+def brute_force_with_rate_changes(
+    capacity: float,
+    schedule: list[tuple[float, float]],
+    rate_changes: list[tuple[float, float]],
+) -> dict[int, float]:
+    """Fluid reference extended with piecewise capacity factors (chaos
+    rate-rescale/partition hooks).  ``rate_changes`` is a list of
+    (time, factor); factor 0 freezes the link until the next change."""
+    arrivals = sorted((t, i, n) for i, (t, n) in enumerate(schedule))
+    changes = sorted(rate_changes)
+    t = 0.0
+    idx = 0
+    cidx = 0
+    factor = 1.0
+    active: dict[int, float] = {}
+    done: dict[int, float] = {}
+    while idx < len(arrivals) or active:
+        next_arrival = arrivals[idx][0] if idx < len(arrivals) else math.inf
+        next_change = changes[cidx][0] if cidx < len(changes) else math.inf
+        if active and factor > 0:
+            rate = capacity * factor / len(active)
+            fin_flow = min(active, key=lambda i: (active[i], i))
+            next_finish = t + active[fin_flow] / rate
+        else:
+            rate = 0.0
+            next_finish = math.inf
+        nxt = min(next_arrival, next_change, next_finish)
+        assert nxt < math.inf, "reference stalled (factor 0 never lifted)"
+        if rate > 0:
+            dt = nxt - t
+            for i in active:
+                active[i] -= rate * dt
+        t = nxt
+        if next_finish <= next_arrival and next_finish <= next_change:
+            for i in sorted(i for i, rem in active.items() if rem <= capacity * 1e-12):
+                done[i] = t
+                del active[i]
+        elif next_arrival <= next_change:
+            while idx < len(arrivals) and arrivals[idx][0] == t:
+                _, i, n = arrivals[idx]
+                active[i] = n
+                idx += 1
+        else:
+            factor = changes[cidx][1]
+            cidx += 1
+    return done
+
+
+rate_change_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=60.0, allow_nan=False),
+        st.sampled_from([0.0, 0.1, 0.25, 0.5, 2.0]),
+    ),
+    min_size=0,
+    max_size=4,
+)
+
+
+@given(schedule_strategy, rate_change_strategy)
+@settings(max_examples=60, deadline=None)
+def test_ps_link_conserves_bytes_under_mid_flow_rate_changes(schedule, changes):
+    """Chaos hook property: arbitrary mid-flow rescales — including freeze
+    windows (factor 0) — never lose or double-count bytes, and completion
+    times match the piecewise fluid reference."""
+    # distinct change times, link always restored to full rate at the end
+    # so every flow eventually completes
+    by_time = {round(t, 6): f for t, f in changes}
+    restore_at = max([100.0] + [t + 1.0 for t in by_time])
+    by_time[restore_at] = 1.0
+    change_list = sorted(by_time.items())
+
+    env = Environment()
+    link = ProcessorSharingLink(env, capacity_bps=CAPACITY)
+    finished_at: dict[int, float] = {}
+
+    def starter(i: int, delay: float, nbytes: float):
+        yield env.timeout(delay)
+        yield link.transfer(nbytes)
+        finished_at[i] = env.now
+
+    def rescaler():
+        for at, factor in change_list:
+            yield env.timeout(at - env.now)
+            link.set_rate_factor(factor)
+
+    for i, (delay, nbytes) in enumerate(schedule):
+        env.process(starter(i, delay, nbytes))
+    env.process(rescaler())
+    env.run()
+
+    reference = brute_force_with_rate_changes(CAPACITY, schedule, change_list)
+    assert set(finished_at) == set(reference)
+    for i, expected in reference.items():
+        assert finished_at[i] == pytest.approx(expected, rel=1e-9, abs=1e-6), (
+            f"flow {i}: sim {finished_at[i]} vs reference {expected}"
+        )
+    total = sum(nbytes for _, nbytes in schedule)
+    assert link.bytes_carried == pytest.approx(total, rel=1e-9, abs=1e-6)
+    assert link.active_flows == 0
+    assert link.rate_factor == 1.0
+
+
+def test_ps_link_freeze_stalls_and_resumes_exactly():
+    """A partition window shifts a flow's completion by exactly its length."""
+    env = Environment()
+    link = ProcessorSharingLink(env, capacity_bps=100.0)
+    done = link.transfer(1000.0)  # 10 s at full rate
+    env.run(until=2.0)
+    link.set_rate_factor(0.0)  # freeze for 5 s
+    env.run(until=7.0)
+    assert not done.triggered
+    link.set_rate_factor(1.0)
+    env.run()
+    assert done.processed
+    assert env.now == pytest.approx(15.0)
+    assert link.bytes_carried == pytest.approx(1000.0)
+
+
+def test_fabric_partition_heal_restores_degradation_factor():
+    env = Environment()
+    fabric = Fabric(env, nic_bps=100.0)
+    fabric.register_node("a")
+    fabric.register_node("b")
+    fabric.set_node_rate_factor("a", 0.5)
+    fabric.partition(["a"])
+    assert fabric.node_rate_factor("a") == 0.0
+    assert fabric.tx_link("a").rate_factor == 0.0
+    fabric.heal(["a"])
+    # healing composes with the persistent degradation, not full rate
+    assert fabric.node_rate_factor("a") == 0.5
+    assert fabric.tx_link("a").rate_factor == 0.5
+    assert fabric.node_rate_factor("b") == 1.0
+
+
+def test_fabric_heterogeneous_nic_registration():
+    env = Environment()
+    fabric = Fabric(env, nic_bps=100.0)
+    fabric.register_node("fast", nic_bps=1000.0)
+    fabric.register_node("slow")
+    fast = fabric.transfer("fast", "slow", 1000.0)
+    env.run()
+    # the 100 B/s RX side of the slow node governs completion
+    assert fast.value == pytest.approx(10.0)
+    assert fabric.tx_link("fast").capacity_bps == 1000.0
+    assert fabric.rx_link("slow").capacity_bps == 100.0
+
+
 def test_fabric_transfer_completes_with_slower_nic():
     """Satellite: the single completion event fires exactly when the slower
     of the two NICs finishes."""
