@@ -293,6 +293,22 @@ class AggregationPlatform:
         plan.validate()
         return plan
 
+    def prepare_round(
+        self, arrivals: list[tuple[float, float]], nbytes: float
+    ) -> tuple[list[SimUpdate], HierarchyPlan]:
+        """Place and plan one round without simulating it.
+
+        This is the control-plane half of :meth:`run_round`; arrival-driven
+        serving loops (:mod:`repro.traces.replay`) call it per admitted
+        round and hand the result to the engine's ``install_round``.  The
+        internal round counter advances so each prepared round gets
+        distinct aggregator ids.
+        """
+        updates = self.place_updates(arrivals, nbytes)
+        plan = self.plan_round(updates)
+        self._round += 1
+        return updates, plan
+
     def run_round(
         self,
         arrivals: list[tuple[float, float]],
@@ -328,12 +344,7 @@ class AggregationPlatform:
         """Place and plan each tenant's round independently, then simulate
         all of them concurrently on one shared fabric (NIC contention is
         the point; instances/CPU ledgers stay per-tenant)."""
-        tenants = []
-        for arrivals in tenant_arrivals:
-            updates = self.place_updates(arrivals, nbytes)
-            plan = self.plan_round(updates)
-            self._round += 1  # distinct round tags -> distinct agg ids
-            tenants.append((updates, plan))
+        tenants = [self.prepare_round(arrivals, nbytes) for arrivals in tenant_arrivals]
         return self.engine.run_multi_tenant(
             tenants,
             include_eval=include_eval,

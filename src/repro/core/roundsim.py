@@ -36,6 +36,12 @@ Two extension points sit on top of the stages:
   rounds on ONE environment and ONE fabric, so concurrent tenants contend
   for the same NIC links while keeping their own instances, ingress
   resources, and CPU ledgers.
+* **Arrival-driven admission** — :meth:`RoundEngine.install_round` /
+  :meth:`RoundEngine.finish_round` are the same install/settle halves as
+  public API: a serving loop (see :mod:`repro.traces.replay`) can admit a
+  round *mid-simulation* (update arrival times are relative to the install
+  instant), let it overlap earlier rounds on the shared fabric, and settle
+  it when its top aggregator fires — warm pools turn over round by round.
 """
 
 from __future__ import annotations
@@ -190,13 +196,12 @@ class RoundEngine:
         round loses its quorum.  ``None`` leaves the round untouched.
         """
         env = Environment()
-        fabric = self._build_fabric(env)
+        fabric = self.build_fabric(env)
         tenant = self._install(env, fabric, updates, plan, record_timeline)
-        result = tenant.result
         try:
             if injector is not None:
                 injector.install(env=env, fabric=fabric, engine=self, tenants=[tenant])
-            result.act = float(env.run(until=tenant.top_done))
+            env.run(until=tenant.top_done)
         except Exception:
             # The platform reclaims a failed round's pods like any other
             # round's — skipping end_round on an abort (or on an injector
@@ -206,11 +211,7 @@ class RoundEngine:
             # round that aborted early must not stock phantom warm pods.
             self.lifecycle.end_round(self.config, _created_per_node(tenant.instances))
             raise
-        self._finalize(tenant, include_eval)
-
-        # -- warm pool turnover -------------------------------------------
-        self.lifecycle.end_round(self.config, _instances_per_node(plan))
-        return result
+        return self.finish_round(tenant, include_eval)
 
     def run_multi_tenant(
         self,
@@ -235,7 +236,7 @@ class RoundEngine:
         if not tenants:
             raise ConfigError("multi-tenant round needs at least one tenant")
         env = Environment()
-        fabric = self._build_fabric(env)
+        fabric = self.build_fabric(env)
         installed = [
             self._install(env, fabric, updates, plan, record_timeline, label=f"t{i}")
             for i, (updates, plan) in enumerate(tenants)
@@ -265,27 +266,75 @@ class RoundEngine:
             for tenant in installed:
                 self.lifecycle.end_round(self.config, _created_per_node(tenant.instances))
             raise
-        results = []
-        for tenant in installed:
-            if tenant.top_done.ok:
-                tenant.result.act = float(tenant.top_done.value)
-                self._finalize(tenant, include_eval)
-                self.lifecycle.end_round(self.config, _instances_per_node(tenant.plan))
-            else:
-                tenant.result.aborted = True
-                tenant.result.act = 0.0
-                self._finalize(tenant, include_eval=False)
-                self.lifecycle.end_round(self.config, _created_per_node(tenant.instances))
-            results.append(tenant.result)
-        return results
+        return [self.finish_round(tenant, include_eval) for tenant in installed]
 
     # ------------------------------------------------------------ installation
-    def _build_fabric(self, env: Environment) -> Fabric:
+    def build_fabric(self, env: Environment) -> Fabric:
+        """The shared NIC fabric every round installed on ``env`` contends
+        on; arrival-driven serving loops build one per replay."""
         fabric = Fabric(env, self.node_spec.nic_bps)
         overrides = self.nic_bps_by_node
         for name in self.node_names:
             fabric.register_node(name, overrides.get(name) if overrides else None)
         return fabric
+
+    def install_round(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        updates: list[SimUpdate],
+        plan: HierarchyPlan,
+        record_timeline: bool = False,
+        label: str = "",
+    ) -> TenantRound:
+        """Install one round on a running (or not-yet-started) environment.
+
+        Update ``arrival_time``\\ s are *relative to the install instant*
+        (``env.now``), so an arrival-driven serving loop can admit rounds as
+        trace events fire and overlap them on the shared ``fabric``.  The
+        caller waits on the returned round's ``top_done`` event and then
+        settles it with :meth:`finish_round`.
+        """
+        return self._install(env, fabric, updates, plan, record_timeline, label=label)
+
+    def finish_round(
+        self,
+        tenant: TenantRound,
+        include_eval: bool = False,
+        start_time: float = 0.0,
+    ) -> RoundResult:
+        """Settle one installed round after its ``top_done`` event fired.
+
+        ``start_time`` is the environment time the round was installed at —
+        the result's ACT is reported relative to it, so a round admitted
+        mid-replay measures its own duration, not the replay clock.  An
+        aborted round (failed ``top_done``) gets ``aborted=True``, ACT 0,
+        and only its actually-created instances restocked into the warm
+        pool, exactly as in :meth:`run_multi_tenant`.
+        """
+        if start_time:
+            # Instance stats were stamped in absolute environment time;
+            # shift them onto the round's own clock so the reserved-CPU
+            # accounting (active = finished - created) and timeline stamps
+            # in _finalize share the install-relative base of ``act``.
+            for inst in tenant.instances.values():
+                stats = inst.stats
+                if stats.created_at > 0.0:
+                    stats.created_at = max(0.0, stats.created_at - start_time)
+                if stats.ready_at > 0.0:
+                    stats.ready_at = max(0.0, stats.ready_at - start_time)
+                if stats.finished_at > 0.0:
+                    stats.finished_at = max(0.0, stats.finished_at - start_time)
+        if tenant.top_done.ok:
+            tenant.result.act = float(tenant.top_done.value) - start_time
+            self._finalize(tenant, include_eval)
+            self.lifecycle.end_round(self.config, _instances_per_node(tenant.plan))
+        else:
+            tenant.result.aborted = True
+            tenant.result.act = 0.0
+            self._finalize(tenant, include_eval=False)
+            self.lifecycle.end_round(self.config, _created_per_node(tenant.instances))
+        return tenant.result
 
     def _install(
         self,

@@ -45,6 +45,7 @@ from repro.experiments import (  # noqa: F401  (import order = catalogue order)
     chaos_sweep,
     hetero_nic,
     stress500,
+    trace_scenarios,
 )
 
 __all__ = [
@@ -61,4 +62,5 @@ __all__ = [
     "overhead",
     "stress50",
     "stress500",
+    "trace_scenarios",
 ]

@@ -115,6 +115,19 @@ def main(argv: list[str]) -> int:
                     f"{perf.get('dead_timer_skips', 0)} dead skips, "
                     f"peak queue {perf.get('peak_queue_depth', 0)}"
                 )
+                for row in rec.rows:
+                    if "slo_attainment" in row:
+                        # Trace scenarios: surface the SLO shape next to
+                        # the engine counters of the same run.
+                        print(
+                            f"  {'':<{len(report.spec.name) + len(str(rec.index)) + 4}}"
+                            f"slo: p50={row.get('latency_p50_s', 0.0):.2f}s "
+                            f"p95={row.get('latency_p95_s', 0.0):.2f}s "
+                            f"p99={row.get('latency_p99_s', 0.0):.2f}s "
+                            f"wait_p95={row.get('queue_wait_p95_s', 0.0):.2f}s "
+                            f"attained={row['slo_attainment']:.1%} "
+                            f"of {row.get('rounds', 0)} rounds"
+                        )
         print()
     if args.out:
         print(f"JSON rows written to {args.out}/")

@@ -14,6 +14,7 @@ so that the aggregation goal is met even if some clients drop out.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -67,3 +68,24 @@ class Selector:
         probs = weights / weights.sum()
         idx = rng.choice(len(available), size=want, replace=False, p=probs)
         return [available[int(i)] for i in idx]
+
+    def select_available(
+        self,
+        clients: list[FLClient],
+        rng: np.random.Generator,
+        is_available: Callable[[str], bool],
+    ) -> list[FLClient]:
+        """Availability-aware selection: filter the population through an
+        availability predicate (e.g. an
+        :class:`~repro.traces.models.AvailabilityTrace` evaluated at the
+        round's arrival instant), then select from whoever is up.
+
+        Returns an empty list when nobody is available — trace-driven
+        serving treats that round as unformable rather than erroring, so
+        day-night participation dips thin rounds instead of crashing the
+        replay.
+        """
+        pool = [c for c in clients if is_available(c.client_id)]
+        if not pool:
+            return []
+        return self.select(pool, rng)

@@ -1,10 +1,12 @@
-"""Engine benchmarks: micro (kernel primitives) and macro (stress50).
+"""Engine benchmarks: micro (kernel primitives) and macro (scenario cells).
 
 The micro-benchmarks time the discrete-event kernel's primitives in
 isolation — timer churn, process spawn/finish, processor-sharing link
-state changes — in events (or flows) per second.  The macro-benchmark is
-the ``stress50`` 900-update round from the scenario registry, wall-clock
-per cell, with the engine counters attached.
+state changes — in events (or flows) per second.  The macro-benchmarks
+are registry scenario cells, wall-clock each, with the engine counters
+attached: the ``stress50`` 900-update round, the ``stress500`` 4-tenant
+shared-fabric round, and the ``trace-diurnal-multitenant`` arrival-driven
+serving cell (~225 overlapping rounds from a diurnal trace).
 
 ``python -m repro.perf.bench --out BENCH_engine.json --label <label>``
 appends one labelled entry to the JSON trajectory so successive PRs can be
@@ -174,11 +176,44 @@ def run_macro_stress500(repeat: int = 3, tenants: int = 4) -> dict:
     return out
 
 
+def run_macro_trace_diurnal(repeat: int = 3) -> dict:
+    """Wall-clock of one ``trace-diurnal-multitenant`` cell per system —
+    the arrival-driven serving loop's trajectory: ~225 overlapping rounds
+    across 4 tenants admitted from a diurnal trace with availability-aware
+    sampling — plus the engine counters and SLO shape of the best run."""
+    from repro.experiments.trace_scenarios import run_diurnal_cell
+
+    out: dict[str, dict] = {}
+    for system in ("LIFL", "SL-H"):
+        best = None
+        counters = EngineCounters()
+        row: dict = {}
+        for _ in range(repeat):
+            with collect() as perf:
+                t0 = time.perf_counter()
+                cell = run_diurnal_cell(system, seed=1)
+                dt = time.perf_counter() - t0
+            if best is None or dt < best:
+                best = dt
+                counters = perf.counters()
+                row = cell
+        out[system] = {
+            "seconds": best,
+            "rounds": row.get("rounds", 0),
+            "peak_inflight": row.get("peak_inflight", 0),
+            "latency_p95_s": row.get("latency_p95_s", 0.0),
+            "slo_attainment": row.get("slo_attainment", 0.0),
+            "counters": counters.as_dict(),
+        }
+    return out
+
+
 def run_suite(repeat: int = 3) -> dict:
     return {
         "micro": run_micro(repeat=repeat),
         "macro_stress50": run_macro_stress50(repeat=repeat),
         "macro_stress500": run_macro_stress500(repeat=repeat),
+        "macro_trace_diurnal": run_macro_trace_diurnal(repeat=repeat),
     }
 
 
@@ -243,6 +278,14 @@ def main(argv: list[str]) -> int:
             f"  stress500/{system:<5} {row['seconds']*1e3:>8.1f} ms/cell  "
             f"({row['tenants']} tenants, {c['events_processed']} events, "
             f"peak queue {c['peak_queue_depth']})"
+        )
+    for system, row in metrics.get("macro_trace_diurnal", {}).items():
+        c = row["counters"]
+        print(
+            f"  trace-diurnal/{system:<5} {row['seconds']*1e3:>6.1f} ms/cell  "
+            f"({row['rounds']} rounds, peak {row['peak_inflight']} in flight, "
+            f"p95 {row['latency_p95_s']:.2f}s, attained {row['slo_attainment']:.1%}, "
+            f"{c['events_processed']} events)"
         )
     if args.out:
         record_run(args.out, args.label, metrics)

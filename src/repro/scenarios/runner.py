@@ -116,11 +116,33 @@ def parse_filters(pairs: Sequence[str]) -> dict[str, str]:
     return filters
 
 
+def _value_matches(value: object, want: str) -> bool:
+    """Compare one grid value against a CLI filter token.
+
+    The token arrives as a string; coerce it to the axis value's own type
+    so ``--filter tenants=4`` matches the int ``4``, ``--filter rate=2.0``
+    matches the float ``2.0`` (and ``rate=2`` does too), and
+    ``--filter chaos=true`` matches the bool ``True`` — instead of the
+    old string comparison, which silently matched nothing whenever the
+    repr differed from the user's spelling.
+    """
+    if isinstance(value, bool):
+        return want.strip().lower() in (
+            ("true", "1", "yes", "on") if value else ("false", "0", "no", "off")
+        )
+    if isinstance(value, (int, float)):
+        try:
+            return float(value) == float(want)
+        except ValueError:
+            return False
+    return str(value) == want
+
+
 def _matches(params: dict, filters: dict[str, str]) -> bool:
     """A run matches when every filter key is a grid axis of the run and
-    its value's string form equals the filter value."""
+    its value (type-coerced) equals the filter value."""
     for key, want in filters.items():
-        if key not in params or str(params[key]) != want:
+        if key not in params or not _value_matches(params[key], want):
             return False
     return True
 

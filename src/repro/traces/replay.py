@@ -1,0 +1,365 @@
+"""The arrival-driven serving loop: replay a trace against a platform.
+
+Every scenario before this subsystem fired one fully-populated round at a
+time and waited for it.  :class:`TraceReplayEngine` instead *serves*: a
+dispatcher process walks a :class:`~repro.traces.models.Trace` on the
+simulation clock and admits rounds as their arrival events fire —
+
+* **overlapping rounds** — each admitted round is installed mid-simulation
+  via :meth:`RoundEngine.install_round` on ONE shared environment and
+  fabric, so rounds in flight (same tenant or not) contend on the same
+  processor-sharing NIC links;
+* **bounded admission** — at most ``max_inflight`` rounds per tenant run
+  concurrently; excess arrivals wait in a bounded FIFO queue (queue wait
+  is measured) and overflow beyond ``queue_limit`` is *rejected* — the
+  load-shedding a real serving tier does under burst;
+* **warm-pool turnover** — every settled round restocks the engine's
+  lifecycle warm pool, so a steady trace converges to warm-start serving
+  exactly like consecutive ``run_round`` calls did;
+* **availability-aware participation** — with an
+  :class:`~repro.traces.models.AvailabilityTrace`, each round samples its
+  clients from the population available at the arrival instant (optionally
+  through the :class:`repro.fl.selector.Selector`'s over-provisioning
+  policy), so day-night swings thin real rounds;
+* **correlated chaos** — with a :class:`ChaosCorrelation`, rounds admitted
+  during availability dips get a seeded
+  :class:`~repro.chaos.FaultInjector` dropout wave whose magnitude scales
+  with the dip — the multi-round recovery loop the chaos subsystem could
+  previously only exercise one round at a time.
+
+Determinism: every random draw (participants, arrival offsets, chaos
+victims) derives from ``(seed, tenant, round_id)`` — never from admission
+timing — so a replay is byte-reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.common.units import RESNET18_BYTES
+from repro.sim.engine import Environment, Process
+from repro.traces.models import AvailabilityTrace, Trace
+from repro.traces.slo import SloTracker
+
+if TYPE_CHECKING:  # import-light: replay only needs these for typing
+    from repro.core.platform import AggregationPlatform
+    from repro.fl.client import FLClient
+    from repro.fl.selector import Selector
+
+__all__ = ["ChaosCorrelation", "ReplayConfig", "ReplayResult", "RoundRecord", "TraceReplayEngine"]
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Serving-loop knobs for one replay."""
+
+    #: participants per round (the aggregation goal)
+    round_updates: int = 8
+    #: update wire size (bytes)
+    nbytes: float = RESNET18_BYTES
+    #: concurrent rounds admitted per tenant before queueing
+    max_inflight: int = 4
+    #: bounded admission queue per tenant; arrivals beyond it are rejected
+    queue_limit: int = 16
+    #: end-to-end (queue wait + service) target a round must meet
+    slo_target_s: float = 30.0
+    #: within-round update arrival spread (uniform [0, spread))
+    arrival_spread_s: float = 2.0
+    include_eval: bool = False
+
+    def validate(self) -> None:
+        if self.round_updates < 1:
+            raise ConfigError("round_updates must be >= 1")
+        if self.max_inflight < 1:
+            raise ConfigError("max_inflight must be >= 1")
+        if self.queue_limit < 0:
+            raise ConfigError("queue_limit must be >= 0")
+        if self.slo_target_s <= 0:
+            raise ConfigError("slo_target_s must be positive")
+        if self.arrival_spread_s < 0:
+            raise ConfigError("arrival_spread_s must be >= 0")
+        if self.nbytes <= 0:
+            raise ConfigError("nbytes must be positive")
+
+
+@dataclass(frozen=True)
+class ChaosCorrelation:
+    """Couple fault injection to availability dips.
+
+    A round admitted while the availability fraction sits below
+    ``dip_threshold`` gets one dropout wave ``wave_delay_s`` after
+    admission; the wave's dropout fraction grows linearly with the depth
+    of the dip, up to ``max_fraction``.  Quorum/heartbeat knobs mirror
+    :class:`repro.chaos.FaultPlan`.
+    """
+
+    dip_threshold: float = 0.5
+    max_fraction: float = 0.6
+    wave_delay_s: float = 0.5
+    quorum_fraction: float = 0.4
+    heartbeat_timeout: float = 4.0
+    sweep_interval: float = 1.0
+
+    def validate(self) -> None:
+        if not 0.0 < self.dip_threshold <= 1.0:
+            raise ConfigError("dip_threshold must be in (0, 1]")
+        if not 0.0 < self.max_fraction <= 1.0:
+            raise ConfigError("max_fraction must be in (0, 1]")
+        if self.wave_delay_s < 0:
+            raise ConfigError("wave_delay_s must be >= 0")
+
+    def wave_fraction(self, availability: float) -> float:
+        """Dropout fraction for a round seeing ``availability`` (0 = no
+        wave; deeper dips drop more clients)."""
+        if availability >= self.dip_threshold:
+            return 0.0
+        depth = (self.dip_threshold - availability) / self.dip_threshold
+        return min(self.max_fraction, round(self.max_fraction * depth, 6))
+
+
+@dataclass
+class RoundRecord:
+    """One served round's life: arrival → admission → completion."""
+
+    tenant: int
+    round_id: int
+    arrival_at: float
+    updates: int
+    admit_at: float = -1.0
+    complete_at: float = -1.0
+    aborted: bool = False
+    rejected: bool = False
+    chaos_fraction: float = 0.0
+    #: participant (offset, weight) pairs sampled at arrival time
+    participants: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def queue_wait(self) -> float:
+        return max(0.0, self.admit_at - self.arrival_at)
+
+    @property
+    def service(self) -> float:
+        return max(0.0, self.complete_at - self.admit_at)
+
+    @property
+    def latency(self) -> float:
+        return self.queue_wait + self.service
+
+
+@dataclass
+class ReplayResult:
+    """Everything one replay produced."""
+
+    records: list[RoundRecord]
+    slo: SloTracker
+    horizon: float
+    peak_inflight: int = 0
+    peak_inflight_per_tenant: dict[int, int] = field(default_factory=dict)
+    chaos_waves: int = 0
+    clients_dropped: int = 0
+
+    @property
+    def rounds_overlapped(self) -> bool:
+        return self.peak_inflight > 1
+
+    def row(self) -> dict:
+        """The flat scenario row: SLO report + serving-shape counters."""
+        out = self.slo.report()
+        out.update(
+            peak_inflight=self.peak_inflight,
+            tenants=len(self.peak_inflight_per_tenant),
+            chaos_waves=self.chaos_waves,
+            clients_dropped=self.clients_dropped,
+        )
+        return out
+
+
+class TraceReplayEngine:
+    """Drive one platform through one trace, measuring SLO behaviour.
+
+    ``availability``/``weights`` opt into availability-aware rounds;
+    ``selector``+``clients`` additionally route participation through the
+    FL selector's over-provisioning policy; ``chaos`` couples dropout
+    waves to availability dips.  The platform's engine, lifecycle stage
+    (warm pool), and node fleet are shared by every round of the replay.
+    """
+
+    def __init__(
+        self,
+        platform: "AggregationPlatform",
+        trace: Trace,
+        config: ReplayConfig | None = None,
+        availability: AvailabilityTrace | None = None,
+        weights: dict[str, float] | None = None,
+        selector: "Selector | None" = None,
+        clients: "list[FLClient] | None" = None,
+        chaos: ChaosCorrelation | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.platform = platform
+        self.trace = trace
+        self.config = config or ReplayConfig()
+        self.config.validate()
+        self.availability = availability
+        self.weights = dict(weights) if weights else {}
+        if (selector is None) != (clients is None):
+            raise ConfigError("selector and clients must be given together")
+        if selector is not None and availability is None:
+            raise ConfigError("selector-driven replay needs an availability trace")
+        self.selector = selector
+        self.clients = list(clients) if clients else []
+        self.chaos = chaos
+        if chaos is not None:
+            chaos.validate()
+            if availability is None:
+                raise ConfigError("chaos correlation needs an availability trace")
+        self.seed = seed
+
+    # ----------------------------------------------------------- participants
+    def _participants(self, ev) -> list[tuple[float, float]]:
+        """Sample one round's (arrival offset, weight) pairs at its trace
+        arrival instant — availability-aware and seeded by round identity,
+        so admission timing never perturbs the draw."""
+        cfg = self.config
+        rng = make_rng(self.seed, f"participants:{ev.tenant}:{ev.round_id}")
+        if self.selector is not None:
+            avail = self.availability
+            picked = self.selector.select_available(
+                self.clients, rng, lambda cid: avail.is_available(cid, ev.at)
+            )
+            ids = [c.client_id for c in picked]
+        elif self.availability is not None:
+            ids = self.availability.sample(ev.at, cfg.round_updates, rng)
+        else:
+            ids = [f"synth-{i}" for i in range(cfg.round_updates)]
+        if not ids:
+            return []
+        weights = self.weights
+        spread = cfg.arrival_spread_s
+        offsets = (
+            rng.uniform(0.0, spread, size=len(ids))
+            if spread > 0
+            else [0.0] * len(ids)
+        )
+        return [
+            (float(off), float(weights.get(cid, 1.0)))
+            for cid, off in zip(ids, offsets)
+        ]
+
+    # ---------------------------------------------------------------- replay
+    def run(self) -> ReplayResult:
+        cfg = self.config
+        engine = self.platform.engine
+        env = Environment()
+        fabric = engine.build_fabric(env)
+        tracker = SloTracker(cfg.slo_target_s)
+        records: list[RoundRecord] = []
+        n_tenants = max(self.trace.tenants, 1)
+        inflight = [0] * n_tenants
+        pending: list[deque[RoundRecord]] = [deque() for _ in range(n_tenants)]
+        result = ReplayResult(
+            records=records,
+            slo=tracker,
+            horizon=self.trace.horizon,
+            peak_inflight_per_tenant={t: 0 for t in range(n_tenants)},
+        )
+
+        def admit(rec: RoundRecord) -> None:
+            rec.admit_at = env.now
+            inflight[rec.tenant] += 1
+            total = sum(inflight)
+            if total > result.peak_inflight:
+                result.peak_inflight = total
+            if inflight[rec.tenant] > result.peak_inflight_per_tenant[rec.tenant]:
+                result.peak_inflight_per_tenant[rec.tenant] = inflight[rec.tenant]
+            updates, plan = self.platform.prepare_round(rec.participants, cfg.nbytes)
+            tenant_round = engine.install_round(
+                env, fabric, updates, plan, label=f"t{rec.tenant}r{rec.round_id}"
+            )
+            self._maybe_inject(env, fabric, engine, rec, tenant_round, result)
+
+            def settled(evt) -> None:
+                if not evt._ok:
+                    evt.defuse()  # a quorum abort must not crash the replay
+                    rec.aborted = True
+                rec.complete_at = env.now
+                res = engine.finish_round(
+                    tenant_round, cfg.include_eval, start_time=rec.admit_at
+                )
+                result.clients_dropped += res.clients_dropped
+                if rec.aborted:
+                    tracker.abort()
+                else:
+                    tracker.observe(rec.queue_wait, rec.service)
+                inflight[rec.tenant] -= 1
+                queue = pending[rec.tenant]
+                if queue and inflight[rec.tenant] < cfg.max_inflight:
+                    admit(queue.popleft())
+
+            tenant_round.top_done.callbacks.append(settled)
+
+        def dispatch():
+            for ev in self.trace.events:
+                delay = ev.at - env.now
+                if delay > 0:
+                    yield env.timeout(delay)
+                participants = self._participants(ev)
+                rec = RoundRecord(
+                    tenant=ev.tenant,
+                    round_id=ev.round_id,
+                    arrival_at=ev.at,
+                    updates=len(participants),
+                    participants=participants,
+                )
+                records.append(rec)
+                if not participants:
+                    # Nobody available: the service cannot form the round.
+                    rec.rejected = True
+                    tracker.reject()
+                elif inflight[ev.tenant] < cfg.max_inflight:
+                    admit(rec)
+                elif len(pending[ev.tenant]) < cfg.queue_limit:
+                    pending[ev.tenant].append(rec)
+                else:
+                    rec.rejected = True
+                    tracker.reject()
+
+        if self.trace.events:
+            Process(env, dispatch(), "trace:dispatch")
+            env.run()
+        return result
+
+    # ----------------------------------------------------------------- chaos
+    def _maybe_inject(self, env, fabric, engine, rec, tenant_round, result) -> None:
+        """Attach a dropout wave to rounds admitted during availability
+        dips (fraction scales with dip depth; seeded by round identity)."""
+        chaos = self.chaos
+        if chaos is None:
+            return
+        frac = chaos.wave_fraction(
+            self.availability.availability_fraction(rec.arrival_at)
+        )
+        if frac <= 0.0:
+            return
+        from repro.chaos import DropoutWave, FaultInjector, FaultPlan
+
+        plan = FaultPlan(
+            seed=int(
+                make_rng(self.seed, f"chaos:{rec.tenant}:{rec.round_id}").integers(
+                    0, 2**31 - 1
+                )
+            ),
+            quorum_fraction=chaos.quorum_fraction,
+            heartbeat_timeout=chaos.heartbeat_timeout,
+            sweep_interval=chaos.sweep_interval,
+            dropouts=(DropoutWave(at=env.now + chaos.wave_delay_s, fraction=frac),),
+        )
+        FaultInjector(plan).install(
+            env=env, fabric=fabric, engine=engine, tenants=[tenant_round]
+        )
+        rec.chaos_fraction = frac
+        result.chaos_waves += 1

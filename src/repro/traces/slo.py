@@ -1,0 +1,196 @@
+"""SLO analytics for trace-driven serving: streaming percentiles and
+attainment accounting.
+
+:class:`LatencyDigest` is a fixed-memory streaming quantile estimator — a
+log-spaced histogram (HdrHistogram-style) whose relative error is bounded
+by the bucket growth factor (~2.2% at the default 128 buckets/decade).  It
+never stores samples, so a million-round replay costs the same memory as a
+ten-round one, and it is exactly deterministic: the same sample sequence
+yields the same counts and the same quantiles in any process.
+
+:class:`SloTracker` is the per-replay accountant: it feeds three digests
+(end-to-end latency, queue wait, service time), counts SLO hits against a
+target, and folds in rejected/aborted rounds (which by definition never
+attain).  ``report()`` emits the flat row the trace scenarios publish.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+__all__ = ["LatencyDigest", "SloTracker"]
+
+
+class LatencyDigest:
+    """Fixed-memory log-bucket quantile digest over positive samples.
+
+    Values in ``[lo, hi)`` land in one of ``decades × bins_per_decade``
+    geometric buckets; values below ``lo`` clamp into the first bucket and
+    values at or above ``hi`` into a dedicated overflow bucket.  Quantiles
+    return the geometric midpoint of the selected bucket — a relative
+    error of at most half the bucket width (~1.8% / bin at 128/decade).
+    """
+
+    __slots__ = ("lo", "hi", "bins_per_decade", "_counts", "_scale", "count", "total", "min", "max")
+
+    def __init__(
+        self, lo: float = 1e-3, hi: float = 1e5, bins_per_decade: int = 128
+    ) -> None:
+        if lo <= 0 or hi <= lo:
+            raise ConfigError("digest needs 0 < lo < hi")
+        if bins_per_decade < 1:
+            raise ConfigError("bins_per_decade must be >= 1")
+        self.lo = lo
+        self.hi = hi
+        self.bins_per_decade = bins_per_decade
+        decades = math.log10(hi / lo)
+        n_bins = int(math.ceil(decades * bins_per_decade))
+        #: bucket i covers [lo·10^(i/bpd), lo·10^((i+1)/bpd)); +1 overflow
+        self._counts = [0] * (n_bins + 1)
+        self._scale = bins_per_decade / math.log(10.0)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ConfigError(f"latency samples must be >= 0, got {value}")
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value < self.lo:
+            idx = 0
+        elif value >= self.hi:
+            idx = len(self._counts) - 1
+        else:
+            idx = int(math.log(value / self.lo) * self._scale)
+            idx = min(idx, len(self._counts) - 2)
+        self._counts[idx] += 1
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimate (0 when the digest is empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        # Nearest-rank over the bucket histogram.
+        rank = max(1, int(math.ceil(q * self.count)))
+        seen = 0
+        for idx, n in enumerate(self._counts):
+            seen += n
+            if seen >= rank:
+                if idx == len(self._counts) - 1:
+                    return self.max  # overflow bucket: best bound we have
+                left = self.lo * 10 ** (idx / self.bins_per_decade)
+                right = self.lo * 10 ** ((idx + 1) / self.bins_per_decade)
+                mid = math.sqrt(left * right)
+                # Never report outside the observed range (tiny digests).
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard p50/p95/p99 triple."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+@dataclass
+class _Outcome:
+    """Mutable tally of round outcomes."""
+
+    completed: int = 0
+    attained: int = 0
+    aborted: int = 0
+    rejected: int = 0
+
+
+class SloTracker:
+    """Streaming SLO accounting for one replay.
+
+    ``observe`` records one *finished* round's queue wait and service time
+    (latency = wait + service) and scores it against ``slo_target_s``;
+    ``abort``/``reject`` record rounds that never produced a model — they
+    count against attainment, since a round the service dropped is a round
+    the tenant did not get.
+    """
+
+    def __init__(self, slo_target_s: float) -> None:
+        if slo_target_s <= 0:
+            raise ConfigError("slo_target_s must be positive")
+        self.slo_target_s = slo_target_s
+        self.latency = LatencyDigest()
+        self.queue_wait = LatencyDigest()
+        self.service = LatencyDigest()
+        self._tally = _Outcome()
+
+    # ------------------------------------------------------------ recording
+    def observe(self, queue_wait: float, service: float) -> bool:
+        """Record one completed round; returns True when it met the SLO."""
+        latency = queue_wait + service
+        self.latency.add(latency)
+        self.queue_wait.add(queue_wait)
+        self.service.add(service)
+        self._tally.completed += 1
+        ok = latency <= self.slo_target_s
+        if ok:
+            self._tally.attained += 1
+        return ok
+
+    def abort(self) -> None:
+        self._tally.aborted += 1
+
+    def reject(self) -> None:
+        self._tally.rejected += 1
+
+    # ------------------------------------------------------------ reporting
+    @property
+    def rounds_total(self) -> int:
+        t = self._tally
+        return t.completed + t.aborted + t.rejected
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of *offered* rounds that completed within the SLO."""
+        total = self.rounds_total
+        return self._tally.attained / total if total else 0.0
+
+    def report(self) -> dict:
+        """One flat, JSON-ready row of SLO metrics (scenario row shape)."""
+        t = self._tally
+        lat = self.latency.percentiles()
+        wait = self.queue_wait.percentiles()
+        svc = self.service.percentiles()
+        return {
+            "rounds": self.rounds_total,
+            "completed": t.completed,
+            "aborted": t.aborted,
+            "rejected": t.rejected,
+            "slo_target_s": self.slo_target_s,
+            "slo_attainment": round(self.attainment, 6),
+            "latency_p50_s": round(lat["p50"], 6),
+            "latency_p95_s": round(lat["p95"], 6),
+            "latency_p99_s": round(lat["p99"], 6),
+            "latency_mean_s": round(self.latency.mean, 6),
+            "queue_wait_p50_s": round(wait["p50"], 6),
+            "queue_wait_p95_s": round(wait["p95"], 6),
+            "queue_wait_p99_s": round(wait["p99"], 6),
+            "queue_wait_mean_s": round(self.queue_wait.mean, 6),
+            "service_p50_s": round(svc["p50"], 6),
+            "service_p95_s": round(svc["p95"], 6),
+            "service_p99_s": round(svc["p99"], 6),
+            "service_mean_s": round(self.service.mean, 6),
+        }

@@ -53,6 +53,42 @@ def test_filter_key_missing_from_grid_matches_nothing():
     assert CampaignRunner(filters={"nonexistent": "1"}).expand([spec]) == []
 
 
+def test_filter_coerces_int_axis_values():
+    """``--filter tenants=4`` must match the int-typed grid axis."""
+    spec = get_scenario("stress500-multitenant")
+    subset = CampaignRunner(filters={"tenants": "4"}).expand([spec])
+    assert subset
+    assert all(run.params["tenants"] == 4 for run in subset)
+
+
+def test_filter_coerces_numeric_spellings():
+    """int/float axes match any numeric spelling of the same value."""
+    spec = get_scenario("fig08")
+    for token in ("100", "100.0", "1e2"):
+        subset = CampaignRunner(filters={"batch": token}).expand([spec])
+        assert subset, f"batch={token} matched nothing"
+        assert all(run.params["batch"] == 100 for run in subset)
+
+
+def test_filter_value_coercion_rules():
+    from repro.scenarios.runner import _value_matches
+
+    assert _value_matches(4, "4")
+    assert _value_matches(4, "4.0")
+    assert not _value_matches(4, "5")
+    assert not _value_matches(4, "four")
+    assert _value_matches(2.5, "2.5")
+    assert _value_matches(True, "true")
+    assert _value_matches(True, "1")
+    assert _value_matches(False, "no")
+    assert not _value_matches(True, "false")
+    # bools are not ints: --filter flag=1 must not match the int 1 axis as
+    # a bool, nor "True" match an int axis
+    assert not _value_matches(1, "True")
+    assert _value_matches("LIFL", "LIFL")
+    assert not _value_matches("LIFL", "lifl")
+
+
 def test_filtered_campaign_runs_only_subset():
     spec = get_scenario("fig07")  # single run, no grid
     result = CampaignRunner(filters={"setting": "nope"}).run([spec])

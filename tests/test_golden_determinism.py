@@ -1,10 +1,14 @@
-"""Golden determinism for the chaos-era scenarios.
+"""Golden determinism for the chaos- and trace-era scenarios.
 
-Same campaign seed ⇒ byte-identical per-scenario JSON for the three new
-scenarios — sequential vs ``--jobs 4``, with and without ``--profile``.
-This is the satellite guard for the chaos subsystem's seeding discipline:
-every random choice (dropout victims, crash victims, arrival jitter)
-derives from the campaign seed, never from process or scheduling state.
+Same campaign seed ⇒ byte-identical per-scenario JSON — sequential vs
+``--jobs 4``, with and without ``--profile``.  This is the satellite
+guard for the seeding discipline: every random choice (dropout victims,
+crash victims, arrival jitter, trace events, round participants) derives
+from the campaign seed, never from process or scheduling state.
+
+The trace scenarios run one filtered cell each (``system=LIFL``) so the
+guard stays fast; the filter itself exercises the typed ``--filter``
+coercion path on the way.
 """
 
 from __future__ import annotations
@@ -15,13 +19,27 @@ from repro.scenarios.registry import get_scenario
 from repro.scenarios.runner import CampaignRunner
 
 SCENARIOS = ("chaos-sweep", "hetero-nic", "stress500-multitenant")
+TRACE_SCENARIOS = (
+    "trace-poisson-slo",
+    "trace-diurnal-multitenant",
+    "trace-burst-chaos",
+)
 SEED = 11
 
 
-def _campaign_json(tmp_path, subdir: str, jobs: int, profile: bool) -> dict[str, bytes]:
+def _campaign_json(
+    tmp_path,
+    subdir: str,
+    jobs: int,
+    profile: bool,
+    scenarios: tuple[str, ...] = SCENARIOS,
+    filters: dict[str, str] | None = None,
+) -> dict[str, bytes]:
     out_dir = str(tmp_path / subdir)
-    runner = CampaignRunner(jobs=jobs, seed=SEED, out_dir=out_dir, profile=profile)
-    result = runner.run([get_scenario(name) for name in SCENARIOS])
+    runner = CampaignRunner(
+        jobs=jobs, seed=SEED, out_dir=out_dir, profile=profile, filters=filters
+    )
+    result = runner.run([get_scenario(name) for name in scenarios])
     blobs: dict[str, bytes] = {}
     for name in os.listdir(out_dir):
         with open(os.path.join(out_dir, name), "rb") as fh:
@@ -46,3 +64,33 @@ def test_chaos_scenarios_golden_json_seq_vs_parallel_vs_profile(tmp_path):
     assert prof_records
     assert all(rec.perf is not None for rec in prof_records)
     assert all(rec.perf["events_processed"] > 0 for rec in prof_records)
+
+
+def test_trace_scenarios_golden_json_seq_vs_parallel_vs_profile(tmp_path):
+    """One LIFL cell of each trace scenario: replay timelines and SLO rows
+    must be byte-identical across execution modes."""
+    filters = {"system": "LIFL"}
+    seq, seq_result = _campaign_json(
+        tmp_path, "tr-seq", jobs=1, profile=False,
+        scenarios=TRACE_SCENARIOS, filters=filters,
+    )
+    par, par_result = _campaign_json(
+        tmp_path, "tr-par", jobs=4, profile=False,
+        scenarios=TRACE_SCENARIOS, filters=filters,
+    )
+    prof, _ = _campaign_json(
+        tmp_path, "tr-prof", jobs=4, profile=True,
+        scenarios=TRACE_SCENARIOS, filters=filters,
+    )
+    assert set(seq) == {f"{name}.json" for name in TRACE_SCENARIOS}
+    for name in seq:
+        assert seq[name] == par[name], f"{name}: sequential vs --jobs 4 differ"
+        assert seq[name] == prof[name], f"{name}: --profile changed the JSON"
+    for seq_rep, par_rep in zip(seq_result.reports, par_result.reports):
+        assert seq_rep.text == par_rep.text
+    # the SLO columns actually made it into the recorded rows
+    rows = [row for rep in seq_result.reports for row in rep.rows]
+    assert rows
+    for row in rows:
+        for key in ("latency_p50_s", "latency_p95_s", "latency_p99_s", "slo_attainment"):
+            assert key in row

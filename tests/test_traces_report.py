@@ -1,0 +1,51 @@
+"""The SLO campaign summarizer (``python -m repro.traces.report``)."""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import CampaignRunner
+from repro.traces.report import _load_docs, main, render_slo_report, slo_rows
+
+
+def _record_campaign(tmp_path) -> str:
+    out_dir = str(tmp_path / "results")
+    runner = CampaignRunner(
+        seed=3, out_dir=out_dir, filters={"system": "LIFL", "rate_per_min": "12"}
+    )
+    runner.run([get_scenario("trace-poisson-slo")])
+    return out_dir
+
+
+def test_report_renders_slo_rows_from_recorded_campaign(tmp_path):
+    out_dir = _record_campaign(tmp_path)
+    docs = _load_docs(out_dir)
+    assert len(docs) == 1
+    pairs = slo_rows(docs[0])
+    assert len(pairs) == 1
+    params, row = pairs[0]
+    assert params == {"system": "LIFL", "rate_per_min": 12}
+    text = render_slo_report(docs)
+    assert "trace-poisson-slo" in text
+    assert "p95 (s)" in text
+    assert f"{row['slo_attainment']:.1%}" in text
+
+
+def test_report_rescores_against_another_target(tmp_path):
+    out_dir = _record_campaign(tmp_path)
+    text = render_slo_report(_load_docs(out_dir), slo_target=0.001)
+    assert "<50%" in text  # nothing attains a 1 ms target
+    text = render_slo_report(_load_docs(out_dir), slo_target=1e9)
+    assert ">=99%" in text
+
+
+def test_report_cli_entry_point(tmp_path, capsys):
+    out_dir = _record_campaign(tmp_path)
+    assert main(["report", out_dir]) == 0
+    assert "trace-poisson-slo" in capsys.readouterr().out
+    assert main(["report", str(tmp_path / "nothing")]) == 2
+
+
+def test_report_notes_missing_slo_rows(tmp_path):
+    out_dir = str(tmp_path / "plain")
+    CampaignRunner(seed=1, out_dir=out_dir).run([get_scenario("fig07")])
+    assert "no SLO rows" in render_slo_report(_load_docs(out_dir))
