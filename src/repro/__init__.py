@@ -17,9 +17,19 @@ Subpackages:
 * :mod:`repro.workloads` — FedScale-like populations and arrival traces;
 * :mod:`repro.core` — the platforms (LIFL / SF / SL / SL-H) and the round
   and workload simulators;
-* :mod:`repro.experiments` — one runnable module per paper figure.
+* :mod:`repro.scenarios` — the ``@scenario`` registry and deterministic
+  parallel campaign runner;
+* :mod:`repro.experiments` — every paper figure and extension scenario,
+  runnable via ``python -m repro.experiments``;
+* :mod:`repro.perf` — engine counters, ``--profile`` collection, and the
+  ``BENCH_engine.json`` trajectory recorder;
+* :mod:`repro.chaos` — seeded declarative fault injection for live rounds;
+* :mod:`repro.traces` — arrival/availability traces, the arrival-driven
+  serving loop with SLO analytics, and multi-core sharded replay.
 
-See ``README.md`` for a tour and ``DESIGN.md`` for the system inventory.
+See ``README.md`` for a tour, ``docs/architecture.md`` for how a round
+moves through the stack, and ``docs/scenario-authoring.md`` for adding
+experiments.
 """
 
 __version__ = "1.0.0"

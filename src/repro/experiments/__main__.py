@@ -1,4 +1,10 @@
-"""Run experiment campaigns from the command line.
+"""The campaign CLI: run registered scenarios, list the catalogue.
+
+This is the single entry point every experiment goes through — paper
+figures and extensions alike are :func:`~repro.scenarios.registry.scenario`
+registrations executed by the
+:class:`~repro.scenarios.runner.CampaignRunner` (see
+``docs/scenario-authoring.md`` for adding your own).
 
 Usage::
 
@@ -69,13 +75,27 @@ def _parse(argv: list[str]) -> argparse.Namespace:
 
 
 def _list_catalogue() -> None:
-    print("Registered scenarios:")
-    for spec in all_scenarios():
-        n_runs = len(spec.expand())
-        grid = ", ".join(f"{k}×{len(v)}" for k, v in spec.grid) or "single run"
-        kind = "paper" if spec.paper else "extra"
-        print(f"  {spec.name:<14} [{kind}] {spec.title}")
-        print(f"  {'':<14} runs: {n_runs} ({grid}); workload: {spec.workload}")
+    """The catalogue, grouped paper figures first, then extensions, with
+    each scenario's one-line description (its run function's first
+    docstring line)."""
+    specs = all_scenarios()
+    groups = (
+        ("Paper figures", [s for s in specs if s.paper]),
+        ("Extensions (non-paper)", [s for s in specs if not s.paper]),
+    )
+    width = max((len(s.name) for s in specs), default=14)
+    for heading, group in groups:
+        if not group:
+            continue
+        print(f"{heading}:")
+        for spec in group:
+            n_runs = len(spec.expand())
+            grid = ", ".join(f"{k}×{len(v)}" for k, v in spec.grid) or "single run"
+            print(f"  {spec.name:<{width}} {spec.title}")
+            if spec.description:
+                print(f"  {'':<{width}} {spec.description}")
+            print(f"  {'':<{width}} runs: {n_runs} ({grid}); workload: {spec.workload}")
+        print()
 
 
 def main(argv: list[str]) -> int:
@@ -115,6 +135,17 @@ def main(argv: list[str]) -> int:
                     f"{perf.get('dead_timer_skips', 0)} dead skips, "
                     f"peak queue {perf.get('peak_queue_depth', 0)}"
                 )
+                per_shard = perf.get("per_shard", {})
+                # natural order: shard2 before shard10
+                for label in sorted(per_shard, key=lambda s: (len(s), s)):
+                    shard = per_shard[label]
+                    # Sharded trace replays report each forked shard's
+                    # engine work next to the merged totals above.
+                    print(
+                        f"  {'':<{len(report.spec.name) + len(str(rec.index)) + 4}}"
+                        f"{label}: {shard.get('events_processed', 0)} events, "
+                        f"peak queue {shard.get('peak_queue_depth', 0)}"
+                    )
                 for row in rec.rows:
                     if "slo_attainment" in row:
                         # Trace scenarios: surface the SLO shape next to

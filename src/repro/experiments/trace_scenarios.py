@@ -27,9 +27,20 @@ All randomness derives from the campaign seed — traces, participants, and
 chaos victims are shared across the system axis so every system serves
 the *same* workload, and sequential and ``--jobs N`` campaigns produce
 byte-identical rows.
+
+Every scenario also carries a ``shards`` grid axis: ``shards=N`` replays
+the same trace through :mod:`repro.traces.shard`'s multi-core
+:class:`~repro.traces.shard.ShardedReplayEngine` — tenants partitioned
+across forked worker processes, each shard a full serving cell, SLO
+digests merged exactly.  Sharding is tenant-affine, so a single-tenant
+trace (poisson, burst) collapses ``shards=2`` to one effective shard and
+reproduces the ``shards=1`` metrics byte-for-byte; the 4-tenant diurnal
+scenario is the one where ``shards=4`` actually fans out.
 """
 
 from __future__ import annotations
+
+from functools import partial
 
 from repro.common.rng import make_rng
 from repro.common.units import RESNET18_BYTES
@@ -82,12 +93,13 @@ def _slo_columns(rows: list[dict]) -> str:
 POISSON_RATES = (12, 40)  # rounds/min
 POISSON_HORIZON_S = 600.0
 POISSON_SLO_S = 12.0
+SHARD_AXIS = (1, 2)
 
 
-def run_poisson_cell(system: str, rate_per_min: int, seed: int) -> dict:
+def run_poisson_cell(system: str, rate_per_min: int, seed: int, shards: int = 1) -> dict:
     trace = poisson_trace(rate_per_min, POISSON_HORIZON_S, seed=seed)
     replay = TraceReplayEngine(
-        _platform(system),
+        None,
         trace,
         ReplayConfig(
             round_updates=8,
@@ -97,9 +109,15 @@ def run_poisson_cell(system: str, rate_per_min: int, seed: int) -> dict:
             slo_target_s=POISSON_SLO_S,
         ),
         seed=seed,
+        platform_factory=partial(_platform, system),
     )
-    row = replay.run().row()
-    row.update(system=system, rate_per_min=rate_per_min, cell=f"{system}@{rate_per_min}/min")
+    row = replay.run(shards=shards).row()
+    row.update(
+        system=system,
+        rate_per_min=rate_per_min,
+        shards=shards,
+        cell=f"{system}@{rate_per_min}/min/s{shards}",
+    )
     return row
 
 
@@ -109,7 +127,7 @@ def _render_poisson(rows: list[dict]) -> str:
         f"8-update ResNet-18 rounds, SLO {POISSON_SLO_S:.0f}s end-to-end"
     ]
     lines.append(_slo_columns(rows))
-    by = {(r["system"], r["rate_per_min"]): r for r in rows}
+    by = {(r["system"], r["rate_per_min"]): r for r in rows if r.get("shards", 1) == 1}
     gaps = []
     for rate in POISSON_RATES:
         lifl, slh = by.get(("LIFL", rate)), by.get(("SL-H", rate))
@@ -125,16 +143,23 @@ def _render_poisson(rows: list[dict]) -> str:
 @scenario(
     name="trace-poisson-slo",
     title="Poisson arrival-driven serving with SLO percentiles (non-paper)",
-    grid={"system": SYSTEMS, "rate_per_min": POISSON_RATES},
+    grid={"system": SYSTEMS, "rate_per_min": POISSON_RATES, "shards": SHARD_AXIS},
     render=_render_poisson,
     workload=f"{N_NODES} nodes, {POISSON_HORIZON_S:.0f}s Poisson traces, 8-update rounds",
     metrics=("latency_p50_s", "latency_p95_s", "latency_p99_s", "slo_attainment"),
     paper=False,
 )
 def trace_poisson_scenario(run_spec: ScenarioRun) -> list[dict]:
-    """One (system, rate) serving cell; trace shared across systems."""
+    """One (system, rate, shards) serving cell; trace shared across systems."""
     seed = _shared_seed(run_spec, "poisson")
-    return [run_poisson_cell(run_spec.params["system"], run_spec.params["rate_per_min"], seed)]
+    return [
+        run_poisson_cell(
+            run_spec.params["system"],
+            run_spec.params["rate_per_min"],
+            seed,
+            shards=run_spec.params["shards"],
+        )
+    ]
 
 
 def _shared_seed(run_spec: ScenarioRun, stream: str) -> int:
@@ -154,7 +179,12 @@ DIURNAL_SLO_S = 8.0
 DIURNAL_CLIENTS = 120
 
 
-def run_diurnal_cell(system: str, seed: int) -> dict:
+DIURNAL_SHARD_AXIS = (1, 2, 4)
+
+
+def _diurnal_replay(system: str, seed: int) -> TraceReplayEngine:
+    """Build (without running) the diurnal cell's replay engine — the
+    scenario and ``repro.perf.bench``'s sharded macro share this."""
     traces = [
         diurnal_trace(
             DIURNAL_BASE_RATE,
@@ -181,8 +211,8 @@ def run_diurnal_cell(system: str, seed: int) -> dict:
         prefix=MOBILE_PROFILE.name,
     )
     selector = Selector(SelectorConfig(aggregation_goal=8, over_provision=1.2))
-    replay = TraceReplayEngine(
-        _platform(system),
+    return TraceReplayEngine(
+        None,
         trace,
         ReplayConfig(
             round_updates=8,
@@ -196,10 +226,14 @@ def run_diurnal_cell(system: str, seed: int) -> dict:
         selector=selector,
         clients=population.clients,
         seed=seed,
+        platform_factory=partial(_platform, system),
     )
-    result = replay.run()
+
+
+def run_diurnal_cell(system: str, seed: int, shards: int = 1) -> dict:
+    result = _diurnal_replay(system, seed).run(shards=shards)
     row = result.row()
-    row.update(system=system, cell=system)
+    row.update(system=system, shards=shards, cell=f"{system}/s{shards}")
     return row
 
 
@@ -212,7 +246,7 @@ def _render_diurnal(rows: list[dict]) -> str:
     lines.append(_slo_columns(rows))
     lines.append(
         "\npeak overlapping rounds: "
-        + ", ".join(f"{r['system']}={r['peak_inflight']}" for r in rows)
+        + ", ".join(f"{r['cell']}={r['peak_inflight']}" for r in rows)
     )
     return "\n".join(lines)
 
@@ -220,7 +254,7 @@ def _render_diurnal(rows: list[dict]) -> str:
 @scenario(
     name="trace-diurnal-multitenant",
     title="4-tenant diurnal trace serving, availability-aware (non-paper)",
-    grid={"system": SYSTEMS},
+    grid={"system": SYSTEMS, "shards": DIURNAL_SHARD_AXIS},
     render=_render_diurnal,
     workload=(
         f"{N_NODES} nodes, {DIURNAL_TENANTS} tenants, diurnal traces over "
@@ -230,8 +264,15 @@ def _render_diurnal(rows: list[dict]) -> str:
     paper=False,
 )
 def trace_diurnal_scenario(run_spec: ScenarioRun) -> list[dict]:
-    """One system serving the shared 4-tenant diurnal workload."""
-    return [run_diurnal_cell(run_spec.params["system"], _shared_seed(run_spec, "diurnal"))]
+    """One system serving the shared 4-tenant diurnal workload, optionally
+    sharded tenant-affine across worker processes."""
+    return [
+        run_diurnal_cell(
+            run_spec.params["system"],
+            _shared_seed(run_spec, "diurnal"),
+            shards=run_spec.params["shards"],
+        )
+    ]
 
 
 # --------------------------------------------------------- bursts + chaos
@@ -240,7 +281,7 @@ BURST_SLO_S = 20.0
 BURST_CLIENTS = 80
 
 
-def run_burst_cell(system: str, chaos: str, seed: int) -> dict:
+def run_burst_cell(system: str, chaos: str, seed: int, shards: int = 1) -> dict:
     trace = mmpp_trace(
         calm_rate_per_min=3.0,
         burst_rate_per_min=30.0,
@@ -264,7 +305,7 @@ def run_burst_cell(system: str, chaos: str, seed: int) -> dict:
         else None
     )
     replay = TraceReplayEngine(
-        _platform(system),
+        None,
         trace,
         ReplayConfig(
             round_updates=8,
@@ -277,10 +318,13 @@ def run_burst_cell(system: str, chaos: str, seed: int) -> dict:
         availability=avail,
         chaos=correlation,
         seed=seed,
+        platform_factory=partial(_platform, system),
     )
-    result = replay.run()
+    result = replay.run(shards=shards)
     row = result.row()
-    row.update(system=system, chaos=chaos, cell=f"{system}/chaos={chaos}")
+    row.update(
+        system=system, chaos=chaos, shards=shards, cell=f"{system}/chaos={chaos}/s{shards}"
+    )
     return row
 
 
@@ -291,7 +335,7 @@ def _render_burst(rows: list[dict]) -> str:
         f"SLO {BURST_SLO_S:.0f}s"
     ]
     lines.append(_slo_columns(rows))
-    chaos_rows = [r for r in rows if r["chaos"] == "on"]
+    chaos_rows = [r for r in rows if r["chaos"] == "on" and r.get("shards", 1) == 1]
     if chaos_rows:
         lines.append(
             "\nchaos: "
@@ -307,16 +351,23 @@ def _render_burst(rows: list[dict]) -> str:
 @scenario(
     name="trace-burst-chaos",
     title="MMPP burst serving with availability-correlated chaos (non-paper)",
-    grid={"system": SYSTEMS, "chaos": ("off", "on")},
+    grid={"system": SYSTEMS, "chaos": ("off", "on"), "shards": SHARD_AXIS},
     render=_render_burst,
     workload=f"{N_NODES} nodes, MMPP bursts over {BURST_HORIZON_S:.0f}s, {BURST_CLIENTS}-client churny population",
     metrics=("latency_p95_s", "slo_attainment", "chaos_waves", "clients_dropped", "aborted"),
     paper=False,
 )
 def trace_burst_scenario(run_spec: ScenarioRun) -> list[dict]:
-    """One (system, chaos on/off) cell on the shared burst workload."""
+    """One (system, chaos on/off, shards) cell on the shared burst workload."""
     seed = _shared_seed(run_spec, "burst")
-    return [run_burst_cell(run_spec.params["system"], run_spec.params["chaos"], seed)]
+    return [
+        run_burst_cell(
+            run_spec.params["system"],
+            run_spec.params["chaos"],
+            seed,
+            shards=run_spec.params["shards"],
+        )
+    ]
 
 
 def main() -> None:

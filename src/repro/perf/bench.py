@@ -5,8 +5,11 @@ isolation — timer churn, process spawn/finish, processor-sharing link
 state changes — in events (or flows) per second.  The macro-benchmarks
 are registry scenario cells, wall-clock each, with the engine counters
 attached: the ``stress50`` 900-update round, the ``stress500`` 4-tenant
-shared-fabric round, and the ``trace-diurnal-multitenant`` arrival-driven
-serving cell (~225 overlapping rounds from a diurnal trace).
+shared-fabric round, the ``trace-diurnal-multitenant`` arrival-driven
+serving cell (~209 overlapping rounds from a diurnal trace), and that
+same cell sharded across 4 forked workers
+(``macro_trace_diurnal_sharded``: measured wall-clock plus the per-shard
+CPU critical path — the multi-core floor).
 
 ``python -m repro.perf.bench --out BENCH_engine.json --label <label>``
 appends one labelled entry to the JSON trajectory so successive PRs can be
@@ -208,12 +211,82 @@ def run_macro_trace_diurnal(repeat: int = 3) -> dict:
     return out
 
 
+def run_macro_trace_diurnal_sharded(repeat: int = 3, shards: int = 4) -> dict:
+    """Wall-clock of the ``trace-diurnal-multitenant`` cell unsharded vs
+    sharded across ``shards`` forked workers (tenant-affine partition,
+    merged SLO digests).
+
+    Reports the honest numbers for *this* host: ``sharded_seconds`` /
+    ``measured_speedup`` time ``run(shards=N)`` under the engine's
+    default worker policy (min(shards, CPUs) — a single-CPU host degrades
+    to inline shards, so this hovers near 1× there and tracks the fork
+    fan-out on multi-core hosts), ``forked_seconds`` times the forced
+    full fan-out, and ``critical_path_seconds`` — the slowest shard's CPU
+    time, measured inside the worker and immune to timeslicing — is the
+    wall-clock floor a host with ``shards`` free cores reaches;
+    ``critical_path_speedup`` is the sequential wall over that floor.
+    ``host_cpus`` records which regime the measurement ran in.
+    """
+    from repro.experiments.trace_scenarios import _diurnal_replay
+    from repro.traces.shard import _available_cpus
+
+    out: dict[str, dict] = {"host_cpus": _available_cpus(), "shards": shards}
+    for system in ("LIFL", "SL-H"):
+        best_seq = None
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            _diurnal_replay(system, seed=1).run()
+            dt = time.perf_counter() - t0
+            if best_seq is None or dt < best_seq:
+                best_seq = dt
+        best_sharded = None
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            _diurnal_replay(system, seed=1).run(shards=shards)
+            dt = time.perf_counter() - t0
+            if best_sharded is None or dt < best_sharded:
+                best_sharded = dt
+        best_forked = None
+        critical = 0.0
+        per_shard: list[dict] = []
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            # workers=shards forces the forked path even on small hosts,
+            # so per-shard CPU self-timing is always populated.
+            result = _diurnal_replay(system, seed=1).run(shards=shards, workers=shards)
+            dt = time.perf_counter() - t0
+            if best_forked is None or dt < best_forked:
+                best_forked = dt
+                critical = result.critical_path_seconds
+                per_shard = [
+                    {
+                        "shard": rep.shard,
+                        "tenants": list(rep.tenants),
+                        "rounds": len(rep.result.records),
+                        "cpu_seconds": rep.cpu_seconds,
+                        "events_processed": rep.counters["events_processed"],
+                    }
+                    for rep in result.shards
+                ]
+        out[system] = {
+            "sequential_seconds": best_seq,
+            "sharded_seconds": best_sharded,
+            "forked_seconds": best_forked,
+            "critical_path_seconds": critical,
+            "measured_speedup": best_seq / best_sharded if best_sharded else 0.0,
+            "critical_path_speedup": best_seq / critical if critical else 0.0,
+            "per_shard": per_shard,
+        }
+    return out
+
+
 def run_suite(repeat: int = 3) -> dict:
     return {
         "micro": run_micro(repeat=repeat),
         "macro_stress50": run_macro_stress50(repeat=repeat),
         "macro_stress500": run_macro_stress500(repeat=repeat),
         "macro_trace_diurnal": run_macro_trace_diurnal(repeat=repeat),
+        "macro_trace_diurnal_sharded": run_macro_trace_diurnal_sharded(repeat=repeat),
     }
 
 
@@ -286,6 +359,18 @@ def main(argv: list[str]) -> int:
             f"({row['rounds']} rounds, peak {row['peak_inflight']} in flight, "
             f"p95 {row['latency_p95_s']:.2f}s, attained {row['slo_attainment']:.1%}, "
             f"{c['events_processed']} events)"
+        )
+    sharded = metrics.get("macro_trace_diurnal_sharded", {})
+    for system in ("LIFL", "SL-H"):
+        row = sharded.get(system)
+        if not row:
+            continue
+        print(
+            f"  trace-sharded/{system:<5} seq {row['sequential_seconds']*1e3:>6.1f} ms "
+            f"-> {sharded['shards']} shards {row['sharded_seconds']*1e3:>6.1f} ms "
+            f"(measured {row['measured_speedup']:.2f}x, critical path "
+            f"{row['critical_path_seconds']*1e3:.1f} ms = {row['critical_path_speedup']:.2f}x, "
+            f"{sharded['host_cpus']} host cpu(s))"
         )
     if args.out:
         record_run(args.out, args.label, metrics)

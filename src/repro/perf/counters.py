@@ -104,6 +104,20 @@ class PerfCollector:
             snap.merge_environment(env)
         return snap
 
+    def labelled(self) -> dict[str, EngineCounters]:
+        """Counters grouped by ``perf_label`` for registered sources that
+        carry one (e.g. the per-shard carriers a sharded trace replay
+        registers); plain environments have no label and are skipped.
+        Labels repeat across runs, so same-label sources merge."""
+        out: dict[str, EngineCounters] = {}
+        for env in self._envs:
+            label = getattr(env, "perf_label", None)
+            if label is None:
+                continue
+            snap = out.setdefault(label, EngineCounters())
+            snap.merge_environment(env)
+        return out
+
 
 _ACTIVE: list[PerfCollector] = []
 

@@ -92,6 +92,13 @@ def _execute_payload(payload: tuple[str, int, dict, int, int, bool]) -> RunRecor
         with collect() as collector:
             rows = spec.run(run)
         perf = collector.counters().as_dict()
+        labelled = collector.labelled()
+        if labelled:
+            # Sharded trace replays register one labelled carrier per
+            # shard; surface them so --profile can print the breakdown.
+            perf["per_shard"] = {
+                label: counters.as_dict() for label, counters in labelled.items()
+            }
     else:
         rows = spec.run(run)
     _check_rows(scenario_name, rows)

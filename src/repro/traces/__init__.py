@@ -14,7 +14,11 @@ Three layers turn the one-shot round engine into a *served* system:
 * :mod:`repro.traces.slo` — fixed-memory streaming latency percentiles
   (p50/p95/p99), queue-wait vs service-time breakdown, and
   SLO-attainment accounting; summarize recorded campaigns with
-  ``python -m repro.traces.report``.
+  ``python -m repro.traces.report``;
+* :mod:`repro.traces.shard` — multi-core sharded replay:
+  :class:`ShardedReplayEngine` partitions a replay's tenants across
+  forked worker processes (each shard a full serving cell) and merges
+  the per-shard SLO digests and engine counters exactly.
 """
 
 from repro.traces.models import (
@@ -36,6 +40,14 @@ from repro.traces.replay import (
     RoundRecord,
     TraceReplayEngine,
 )
+from repro.traces.shard import (
+    ShardedReplayEngine,
+    ShardedReplayResult,
+    ShardPlan,
+    ShardReport,
+    plan_shards,
+    split_trace,
+)
 from repro.traces.slo import LatencyDigest, SloTracker
 
 __all__ = [
@@ -45,6 +57,10 @@ __all__ = [
     "ReplayConfig",
     "ReplayResult",
     "RoundRecord",
+    "ShardPlan",
+    "ShardReport",
+    "ShardedReplayEngine",
+    "ShardedReplayResult",
     "SloTracker",
     "Trace",
     "TraceEvent",
@@ -54,6 +70,8 @@ __all__ = [
     "load_trace",
     "merge_traces",
     "mmpp_trace",
+    "plan_shards",
     "poisson_trace",
     "save_trace",
+    "split_trace",
 ]

@@ -30,6 +30,11 @@ simulation clock and admits rounds as their arrival events fire —
 Determinism: every random draw (participants, arrival offsets, chaos
 victims) derives from ``(seed, tenant, round_id)`` — never from admission
 timing — so a replay is byte-reproducible from its seed.
+
+Multi-core: ``run(shards=N)`` (with a ``platform_factory``) hands the
+replay to :class:`~repro.traces.shard.ShardedReplayEngine`, which
+partitions tenants across N forked worker processes — see
+:mod:`repro.traces.shard`.
 """
 
 from __future__ import annotations
@@ -46,9 +51,12 @@ from repro.traces.models import AvailabilityTrace, Trace
 from repro.traces.slo import SloTracker
 
 if TYPE_CHECKING:  # import-light: replay only needs these for typing
+    from typing import Callable
+
     from repro.core.platform import AggregationPlatform
     from repro.fl.client import FLClient
     from repro.fl.selector import Selector
+    from repro.traces.shard import ShardedReplayResult
 
 __all__ = ["ChaosCorrelation", "ReplayConfig", "ReplayResult", "RoundRecord", "TraceReplayEngine"]
 
@@ -190,7 +198,7 @@ class TraceReplayEngine:
 
     def __init__(
         self,
-        platform: "AggregationPlatform",
+        platform: "AggregationPlatform | None",
         trace: Trace,
         config: ReplayConfig | None = None,
         availability: AvailabilityTrace | None = None,
@@ -199,8 +207,17 @@ class TraceReplayEngine:
         clients: "list[FLClient] | None" = None,
         chaos: ChaosCorrelation | None = None,
         seed: int = 0,
+        platform_factory: "Callable[[], AggregationPlatform] | None" = None,
     ) -> None:
+        if platform is None and platform_factory is None:
+            raise ConfigError("replay needs a platform or a platform_factory")
         self.platform = platform
+        #: True when the caller handed us a live platform (vs one built
+        #: lazily from the factory) — sharded runs must refuse it, since
+        #: shards build their own platforms and a differently-configured
+        #: factory would silently diverge from the supplied instance.
+        self._platform_supplied = platform is not None
+        self.platform_factory = platform_factory
         self.trace = trace
         self.config = config or ReplayConfig()
         self.config.validate()
@@ -251,7 +268,52 @@ class TraceReplayEngine:
         ]
 
     # ---------------------------------------------------------------- replay
-    def run(self) -> ReplayResult:
+    def run(
+        self, shards: int = 1, workers: int | None = None, inline: bool = False
+    ) -> "ReplayResult | ShardedReplayResult":
+        """Replay the trace; ``shards > 1`` partitions it across worker
+        processes.
+
+        Sharding needs a ``platform_factory`` (each shard builds its own
+        platform) and returns a
+        :class:`~repro.traces.shard.ShardedReplayResult` whose ``row()``
+        matches this method's single-shard report shape.  ``workers``
+        caps the forked worker processes (default: available CPUs);
+        ``inline=True`` forces the shards to run in-process (forked and
+        inline runs are byte-identical).  ``shards=1`` is exactly the
+        sequential replay.
+        """
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        if shards > 1:
+            if self.platform_factory is None:
+                raise ConfigError(
+                    "sharded replay needs a platform_factory "
+                    "(each shard builds its own platform)"
+                )
+            if self._platform_supplied:
+                raise ConfigError(
+                    "sharded replay ignores a supplied platform instance — "
+                    "pass platform=None and let every shard build its own "
+                    "from platform_factory"
+                )
+            from repro.traces.shard import ShardedReplayEngine
+
+            return ShardedReplayEngine(
+                self.platform_factory,
+                self.trace,
+                self.config,
+                availability=self.availability,
+                weights=self.weights or None,
+                selector=self.selector,
+                clients=self.clients or None,
+                chaos=self.chaos,
+                seed=self.seed,
+                shards=shards,
+                workers=workers,
+            ).run(inline=inline)
+        if self.platform is None:
+            self.platform = self.platform_factory()
         cfg = self.config
         engine = self.platform.engine
         env = Environment()

@@ -1,0 +1,421 @@
+"""Multi-core sharded trace replay: one serving cell per worker process.
+
+A single :class:`~repro.traces.replay.TraceReplayEngine` replays every
+round of a trace on one core.  :class:`ShardedReplayEngine` instead
+partitions the replay's *tenants* across ``N`` worker processes and runs
+each partition as an independent serving cell — its own
+:class:`~repro.sim.engine.Environment`, its own fabric, its own warm
+pool — then folds the per-shard results into one report:
+
+* **tenant-affine sharding** — a tenant's admission queue, warm-pool
+  turnover, and SLO accounting are stateful across that tenant's rounds,
+  so every round of a tenant must land in the same worker.  The planner
+  (:func:`plan_shards`) balances whole tenants across shards by event
+  count (greedy LPT, deterministic tie-breaks); a trace with fewer
+  tenants than requested shards simply uses fewer shards.
+* **byte-deterministic sub-traces** — :func:`split_trace` filters the
+  merged timeline per shard *without renumbering*: because
+  :func:`~repro.traces.models.merge_traces` numbers ``round_id`` per
+  tenant, the filtered sub-trace carries each tenant's original ids, and
+  every seeded draw (participants, chaos victims) keys off
+  ``(seed, tenant, round_id)`` — so a shard replays its tenants exactly
+  as the unsharded engine would have drawn them.
+* **fork-based execution** — shards run on forked worker processes, the
+  same machinery ``CampaignRunner --jobs`` uses.  The worker count
+  defaults to ``min(shards, available CPUs)`` — a worker granted several
+  shards runs them sequentially, so a single-CPU host degrades to the
+  inline path instead of paying fork-and-timeslice overhead for nothing.
+  Where fork is unavailable (or the caller is already a daemonic pool
+  worker, which cannot fork children), shards likewise run inline; every
+  execution mode produces byte-identical merged results, which the
+  golden-determinism tests pin.
+* **exact merging** — per-shard :class:`~repro.traces.slo.SloTracker`
+  digests merge by bucket addition (exact, see
+  :meth:`LatencyDigest.merge <repro.traces.slo.LatencyDigest.merge>`),
+  outcome tallies sum, round records interleave back into arrival order,
+  and engine counters (:mod:`repro.perf`) are reported per shard and
+  merged.
+
+The semantic difference from the unsharded replay is placement, not
+randomness: each shard's tenants contend only with each other on their
+shard's fabric, so ``shards=N`` models N independent serving cells fed by
+one trace.  With one shard there is no difference at all — a
+single-shard run is byte-identical to ``TraceReplayEngine.run()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.common.errors import ConfigError
+from repro.perf.counters import COUNTER_FIELDS, EngineCounters, collect, maybe_register
+from repro.traces.models import Trace
+from repro.traces.replay import ReplayConfig, ReplayResult, TraceReplayEngine
+from repro.traces.slo import SloTracker
+
+if TYPE_CHECKING:  # import-light, mirroring replay.py
+    from repro.core.platform import AggregationPlatform
+    from repro.fl.client import FLClient
+    from repro.fl.selector import Selector
+    from repro.traces.models import AvailabilityTrace
+    from repro.traces.replay import ChaosCorrelation
+
+__all__ = [
+    "ShardPlan",
+    "ShardReport",
+    "ShardedReplayEngine",
+    "ShardedReplayResult",
+    "plan_shards",
+    "split_trace",
+]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Which tenants each shard serves: ``assignments[i]`` is shard ``i``'s
+    sorted tenant-id tuple.  Empty shards are never emitted."""
+
+    assignments: tuple[tuple[int, ...], ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.assignments)
+
+    def validate(self, trace: Trace) -> None:
+        seen: set[int] = set()
+        for tenants in self.assignments:
+            if not tenants:
+                raise ConfigError("shard plan contains an empty shard")
+            overlap = seen.intersection(tenants)
+            if overlap:
+                raise ConfigError(f"tenants assigned to two shards: {sorted(overlap)}")
+            seen.update(tenants)
+        have = {ev.tenant for ev in trace.events}
+        if seen != have:
+            raise ConfigError(
+                f"shard plan covers tenants {sorted(seen)} but trace has {sorted(have)}"
+            )
+
+
+def plan_shards(trace: Trace, n_shards: int) -> ShardPlan:
+    """Balance whole tenants across at most ``n_shards`` shards.
+
+    Greedy longest-processing-time by per-tenant event count: tenants are
+    taken heaviest first and each lands on the least-loaded shard, with
+    deterministic tie-breaks (tenant id, then shard index).  The effective
+    shard count is capped at the number of tenants with events — a
+    single-tenant trace always yields one shard, whatever was asked for.
+    """
+    if n_shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {n_shards}")
+    counts: dict[int, int] = {}
+    for ev in trace.events:
+        counts[ev.tenant] = counts.get(ev.tenant, 0) + 1
+    if not counts:
+        return ShardPlan(assignments=())
+    n = min(n_shards, len(counts))
+    loads = [0] * n
+    members: list[list[int]] = [[] for _ in range(n)]
+    for tenant in sorted(counts, key=lambda t: (-counts[t], t)):
+        shard = min(range(n), key=lambda i: (loads[i], i))
+        loads[shard] += counts[tenant]
+        members[shard].append(tenant)
+    return ShardPlan(assignments=tuple(tuple(sorted(m)) for m in members))
+
+
+def split_trace(trace: Trace, tenants: tuple[int, ...]) -> Trace:
+    """The sub-trace a shard replays: ``trace`` filtered to ``tenants``.
+
+    Events keep their original times, tenant ids, and per-tenant round
+    ids (``merge_traces`` numbers rounds per tenant, so a tenant subset is
+    already sequentially numbered) — the filtered trace therefore drives
+    the identical seeded draws the full trace would for those tenants.
+    The horizon is preserved so rate/time bookkeeping stays comparable.
+    """
+    keep = set(tenants)
+    sub = Trace(
+        events=[ev for ev in trace.events if ev.tenant in keep],
+        horizon=trace.horizon,
+        source=f"{trace.source or '?'} [tenants {','.join(map(str, sorted(keep)))}]",
+    )
+    sub.validate()
+    return sub
+
+
+@dataclass
+class ShardReport:
+    """One shard's complete output: its replay result, the engine counters
+    its environment accumulated, and its own wall/CPU self-timing (CPU
+    seconds are immune to timeslicing, so the slowest shard's CPU time is
+    the replay's critical path on an uncontended multi-core host)."""
+
+    shard: int
+    tenants: tuple[int, ...]
+    result: ReplayResult
+    counters: dict[str, int]
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+
+
+@dataclass
+class ShardedReplayResult:
+    """A sharded replay's merged view plus the per-shard breakdown.
+
+    ``merged`` is a plain :class:`~repro.traces.replay.ReplayResult` whose
+    SLO tracker is the exact fold of every shard's tracker, so
+    ``row()``/``report()`` have the same shape (and, for one shard, the
+    same bytes) as an unsharded replay.  ``peak_inflight`` sums the
+    per-shard peaks — the total concurrent-round capacity the shard fleet
+    used.
+    """
+
+    merged: ReplayResult
+    shards: list[ShardReport]
+    #: True when shards ran on forked workers, False for the inline path
+    forked: bool
+    #: worker processes used (1 for the inline path)
+    workers: int = 1
+
+    def row(self) -> dict:
+        return self.merged.row()
+
+    def merged_counters(self) -> EngineCounters:
+        snap = EngineCounters()
+        for rep in self.shards:
+            snap.merge_environment(_ShardCounters(f"shard{rep.shard}", rep.counters))
+        return snap
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """The slowest shard's CPU seconds — the wall-clock floor a host
+        with at least as many free cores as shards can reach."""
+        return max((rep.cpu_seconds for rep in self.shards), default=0.0)
+
+
+class _ShardCounters:
+    """Counter carrier duck-typed as an Environment for the perf collector
+    (it exposes the :data:`~repro.perf.counters.COUNTER_FIELDS` attributes),
+    so ``--profile`` campaigns see forked shards' engine work."""
+
+    def __init__(self, label: str, counters: dict[str, int]) -> None:
+        self.perf_label = label
+        for name in COUNTER_FIELDS:
+            setattr(self, name, counters.get(name, 0))
+
+
+class ShardedReplayEngine:
+    """Partition one trace replay across worker processes and merge.
+
+    Mirrors :class:`~repro.traces.replay.TraceReplayEngine`'s knobs but
+    takes a ``platform_factory`` instead of a platform instance: every
+    shard builds its *own* platform (engine, warm pool, node fleet), so a
+    shard is a full serving cell and shard results are independent of
+    execution order.  The factory must be safe to call once per shard.
+    """
+
+    def __init__(
+        self,
+        platform_factory: "Callable[[], AggregationPlatform]",
+        trace: Trace,
+        config: ReplayConfig | None = None,
+        availability: "AvailabilityTrace | None" = None,
+        weights: dict[str, float] | None = None,
+        selector: "Selector | None" = None,
+        clients: "list[FLClient] | None" = None,
+        chaos: "ChaosCorrelation | None" = None,
+        seed: int = 0,
+        shards: int = 1,
+        workers: int | None = None,
+    ) -> None:
+        if not callable(platform_factory):
+            raise ConfigError("platform_factory must be callable")
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        if workers is not None and workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.platform_factory = platform_factory
+        self.trace = trace
+        self.config = config or ReplayConfig()
+        self.availability = availability
+        self.weights = weights
+        self.selector = selector
+        self.clients = clients
+        self.chaos = chaos
+        self.seed = seed
+        self.shards = shards
+        self.workers = workers
+
+    # ------------------------------------------------------------------ run
+    def run(self, inline: bool = False) -> ShardedReplayResult:
+        """Replay every shard and merge.
+
+        Shards are distributed over ``min(shards, workers)`` forked worker
+        processes (``workers`` defaults to the CPUs this process may run
+        on); a worker granted several shards runs them back to back.
+        ``inline=True`` — or a single-CPU host, or an unforkable caller —
+        runs everything in-process instead.  Every mode is byte-identical:
+        the sub-trace split and all seeding are decided before execution
+        mode, and each shard builds its own platform either way.
+        """
+        plan = plan_shards(self.trace, self.shards)
+        if plan.n_shards == 0:
+            # An empty trace: one empty replay keeps the report shape.
+            report = self._run_shard(0, self.trace)
+            return ShardedReplayResult(
+                merged=report.result, shards=[report], forked=False
+            )
+        tasks = [
+            (i, split_trace(self.trace, tenants), tenants)
+            for i, tenants in enumerate(plan.assignments)
+        ]
+        n_workers = min(plan.n_shards, self.workers or _available_cpus())
+        fork = not inline and n_workers > 1 and _fork_available()
+        if fork:
+            reports = self._run_forked(tasks, n_workers)
+            # Forked shards' environments lived in the children; credit
+            # their counters to any active --profile collector here.
+            for rep in reports:
+                maybe_register(_ShardCounters(f"shard{rep.shard}", rep.counters))
+        else:
+            reports = [self._run_shard(i, sub, tenants) for i, sub, tenants in tasks]
+        return ShardedReplayResult(
+            merged=self._merge(reports),
+            shards=reports,
+            forked=fork,
+            workers=n_workers if fork else 1,
+        )
+
+    # ---------------------------------------------------------------- workers
+    def _run_shard(
+        self, shard_id: int, sub: Trace, tenants: tuple[int, ...] = ()
+    ) -> ShardReport:
+        """Replay one shard in the current process, collecting counters."""
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        with collect() as perf:
+            engine = TraceReplayEngine(
+                self.platform_factory(),
+                sub,
+                self.config,
+                availability=self.availability,
+                weights=self.weights,
+                selector=self.selector,
+                clients=self.clients,
+                chaos=self.chaos,
+                seed=self.seed,
+            )
+            result = engine.run()
+        return ShardReport(
+            shard=shard_id,
+            tenants=tenants,
+            result=result,
+            counters=perf.counters().as_dict(),
+            wall_seconds=time.perf_counter() - wall0,
+            cpu_seconds=time.process_time() - cpu0,
+        )
+
+    def _run_forked(
+        self,
+        tasks: list[tuple[int, Trace, tuple[int, ...]]],
+        n_workers: int,
+    ) -> list[ShardReport]:
+        """Fan the shards out over ``n_workers`` forked workers.
+
+        Shards are dealt round-robin (they are already LPT-balanced, so
+        neighbouring indices carry similar load); each worker replays its
+        share sequentially and ships the reports home over a pipe.  The
+        parent receives before joining so a large report cannot deadlock
+        against a full pipe buffer; a worker that dies without reporting
+        surfaces as an error naming its shards.
+        """
+        ctx = multiprocessing.get_context("fork")
+        groups = [tasks[w::n_workers] for w in range(n_workers)]
+        procs = []
+        for w, group in enumerate(groups):
+            rx, tx = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=self._worker_main,
+                args=(group, tx),
+                name=f"trace-shard-w{w}",
+            )
+            proc.start()
+            tx.close()
+            procs.append((group, proc, rx))
+        reports: list[ShardReport] = []
+        failures: list[str] = []
+        for group, proc, rx in procs:
+            shard_ids = ",".join(str(i) for i, _, _ in group)
+            try:
+                status, payload = rx.recv()
+            except EOFError:
+                status, payload = "err", "worker died without reporting"
+            proc.join()
+            if status == "ok":
+                reports.extend(payload)
+            else:
+                failures.append(f"shards [{shard_ids}]: {payload}")
+        if failures:
+            raise RuntimeError("sharded replay failed: " + "; ".join(failures))
+        return reports
+
+    def _worker_main(self, group, conn) -> None:
+        try:
+            out = [self._run_shard(i, sub, tuple(tenants)) for i, sub, tenants in group]
+            conn.send(("ok", out))
+        except BaseException:
+            conn.send(("err", traceback.format_exc()))
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------ merge
+    def _merge(self, reports: list[ShardReport]) -> ReplayResult:
+        """Fold shard results into one :class:`ReplayResult`.
+
+        SLO digests/tallies merge exactly; records re-interleave into the
+        dispatch order (arrival time, tenant, round id) the unsharded
+        engine emits; per-shard peak in-flight counts *sum* (shards peak
+        independently — the sum bounds the fleet's concurrent rounds).
+        """
+        reports = sorted(reports, key=lambda r: r.shard)
+        merged_slo = SloTracker(self.config.slo_target_s)
+        records = []
+        peak_per_tenant: dict[int, int] = {}
+        merged = ReplayResult(
+            records=records, slo=merged_slo, horizon=self.trace.horizon
+        )
+        for rep in reports:
+            res = rep.result
+            merged_slo.merge(res.slo)
+            records.extend(res.records)
+            merged.peak_inflight += res.peak_inflight
+            merged.chaos_waves += res.chaos_waves
+            merged.clients_dropped += res.clients_dropped
+            for tenant, peak in res.peak_inflight_per_tenant.items():
+                if peak > peak_per_tenant.get(tenant, -1):
+                    peak_per_tenant[tenant] = peak
+        records.sort(key=lambda r: (r.arrival_at, r.tenant, r.round_id))
+        merged.peak_inflight_per_tenant = dict(sorted(peak_per_tenant.items()))
+        return merged
+
+
+def _fork_available() -> bool:
+    """Fork workers need the fork start method and a non-daemonic parent
+    (``CampaignRunner --jobs`` pool workers are daemonic and cannot have
+    children — there the shards run inline, byte-identically)."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    return not multiprocessing.current_process().daemon
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware where the OS
+    exposes it) — the default worker-count cap."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1

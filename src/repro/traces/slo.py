@@ -12,6 +12,13 @@ yields the same counts and the same quantiles in any process.
 (end-to-end latency, queue wait, service time), counts SLO hits against a
 target, and folds in rejected/aborted rounds (which by definition never
 attain).  ``report()`` emits the flat row the trace scenarios publish.
+
+Both classes *merge exactly*: a digest is a histogram, so folding shard
+digests together is plain per-bucket addition — the merged counts (and
+therefore every quantile) are identical to a single digest that saw all
+the samples, in any order.  That exactness is what lets the sharded
+replay (:mod:`repro.traces.shard`) split a trace across worker processes
+and still publish one authoritative SLO report.
 """
 
 from __future__ import annotations
@@ -95,6 +102,25 @@ class LatencyDigest:
                 return min(max(mid, self.min), self.max)
         return self.max
 
+    def merge(self, other: "LatencyDigest") -> None:
+        """Fold ``other``'s buckets into this digest — exact, not an
+        approximation: bucket counts add, so the merged digest equals one
+        that ingested both sample streams directly."""
+        if (
+            other.lo != self.lo
+            or other.hi != self.hi
+            or other.bins_per_decade != self.bins_per_decade
+        ):
+            raise ConfigError("can only merge digests with identical bucketing")
+        for idx, n in enumerate(other._counts):
+            self._counts[idx] += n
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -155,6 +181,26 @@ class SloTracker:
 
     def reject(self) -> None:
         self._tally.rejected += 1
+
+    def merge(self, other: "SloTracker") -> None:
+        """Fold another tracker's accounting into this one (shard merge).
+
+        Digest merges are exact (bucket addition); the outcome tally sums.
+        Both trackers must score against the same SLO target — merging
+        differently-scored shards would make ``attainment`` meaningless.
+        """
+        if other.slo_target_s != self.slo_target_s:
+            raise ConfigError(
+                f"cannot merge SLO trackers with different targets "
+                f"({self.slo_target_s} vs {other.slo_target_s})"
+            )
+        self.latency.merge(other.latency)
+        self.queue_wait.merge(other.queue_wait)
+        self.service.merge(other.service)
+        self._tally.completed += other._tally.completed
+        self._tally.attained += other._tally.attained
+        self._tally.aborted += other._tally.aborted
+        self._tally.rejected += other._tally.rejected
 
     # ------------------------------------------------------------ reporting
     @property

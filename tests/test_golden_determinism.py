@@ -8,7 +8,10 @@ from the campaign seed, never from process or scheduling state.
 
 The trace scenarios run one filtered cell each (``system=LIFL``) so the
 guard stays fast; the filter itself exercises the typed ``--filter``
-coercion path on the way.
+coercion path on the way.  The sharded-replay tests pin the multi-core
+path: forked vs inline shard execution byte-identical, and shards=1 vs
+shards=4 identical in everything sharding must not perturb (offered
+rounds, participant draws) — see also ``tests/test_traces_shard.py``.
 """
 
 from __future__ import annotations
@@ -66,10 +69,59 @@ def test_chaos_scenarios_golden_json_seq_vs_parallel_vs_profile(tmp_path):
     assert all(rec.perf["events_processed"] > 0 for rec in prof_records)
 
 
+def test_sharded_trace_cell_golden_json_seq_vs_parallel_vs_profile(tmp_path):
+    """The shards=4 diurnal cell through every execution mode.
+
+    How the shards actually execute differs per mode: a sequential
+    campaign may fork shard workers (CPU-count permitting), while a
+    ``--jobs 4`` campaign runs each cell in a daemonic pool worker where
+    the shards must execute inline.  Identical JSON proves forked and
+    inline sharding merge byte-identically.
+    """
+    filters = {"system": "LIFL", "shards": "4"}
+    scenarios = ("trace-diurnal-multitenant",)
+    seq, _ = _campaign_json(
+        tmp_path, "sh-seq", jobs=1, profile=False, scenarios=scenarios, filters=filters
+    )
+    par, _ = _campaign_json(
+        tmp_path, "sh-par", jobs=4, profile=False, scenarios=scenarios, filters=filters
+    )
+    prof, prof_result = _campaign_json(
+        tmp_path, "sh-prof", jobs=1, profile=True, scenarios=scenarios, filters=filters
+    )
+    for name in seq:
+        assert seq[name] == par[name], f"{name}: forked vs inline shards differ"
+        assert seq[name] == prof[name], f"{name}: --profile changed the JSON"
+    # --profile saw the shards' engine work whichever way they executed
+    # (labelled per-shard carriers when forked, direct envs when inline)
+    rec = prof_result.reports[0].records[0]
+    assert rec.perf is not None and rec.perf["events_processed"] > 0
+
+
+def test_sharded_vs_sequential_diurnal_report_invariants():
+    """shards=1 vs shards=4 on the diurnal workload: the offered workload
+    (rounds, arrivals, sampled participants) is byte-identical; only
+    contention-dependent timing may move, since each shard serves its
+    tenants on its own fabric."""
+    from repro.experiments.trace_scenarios import _diurnal_replay
+
+    one = _diurnal_replay("LIFL", seed=SEED).run()
+    four = _diurnal_replay("LIFL", seed=SEED).run(shards=4)
+    assert len(four.shards) == 4
+    assert four.row()["rounds"] == one.row()["rounds"] == len(one.records)
+    key = lambda r: (r.tenant, r.round_id, r.arrival_at, r.updates, tuple(r.participants))  # noqa: E731
+    assert list(map(key, four.merged.records)) == list(map(key, one.records))
+    assert four.row()["tenants"] == one.row()["tenants"]
+    # and the sharded run itself is bit-stable
+    again = _diurnal_replay("LIFL", seed=SEED).run(shards=4)
+    assert again.row() == four.row()
+
+
 def test_trace_scenarios_golden_json_seq_vs_parallel_vs_profile(tmp_path):
-    """One LIFL cell of each trace scenario: replay timelines and SLO rows
-    must be byte-identical across execution modes."""
-    filters = {"system": "LIFL"}
+    """One unsharded LIFL cell of each trace scenario: replay timelines
+    and SLO rows must be byte-identical across execution modes.  (The
+    shards=4 cell has its own golden test above.)"""
+    filters = {"system": "LIFL", "shards": "1"}
     seq, seq_result = _campaign_json(
         tmp_path, "tr-seq", jobs=1, profile=False,
         scenarios=TRACE_SCENARIOS, filters=filters,

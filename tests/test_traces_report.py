@@ -10,7 +10,9 @@ from repro.traces.report import _load_docs, main, render_slo_report, slo_rows
 def _record_campaign(tmp_path) -> str:
     out_dir = str(tmp_path / "results")
     runner = CampaignRunner(
-        seed=3, out_dir=out_dir, filters={"system": "LIFL", "rate_per_min": "12"}
+        seed=3,
+        out_dir=out_dir,
+        filters={"system": "LIFL", "rate_per_min": "12", "shards": "1"},
     )
     runner.run([get_scenario("trace-poisson-slo")])
     return out_dir
@@ -23,7 +25,7 @@ def test_report_renders_slo_rows_from_recorded_campaign(tmp_path):
     pairs = slo_rows(docs[0])
     assert len(pairs) == 1
     params, row = pairs[0]
-    assert params == {"system": "LIFL", "rate_per_min": 12}
+    assert params == {"system": "LIFL", "rate_per_min": 12, "shards": 1}
     text = render_slo_report(docs)
     assert "trace-poisson-slo" in text
     assert "p95 (s)" in text
