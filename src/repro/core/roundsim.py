@@ -344,9 +344,31 @@ class RoundEngine:
         plan: HierarchyPlan,
         record_timeline: bool = True,
         label: str = "",
+        local_nodes: "frozenset[str] | set[str] | None" = None,
+        boundary_emit: "Callable[[str, str, float, float], None] | None" = None,
+        remote_inputs: "Sequence[tuple[str, str, float, float]] | None" = None,
+        arrival_span: float | None = None,
     ) -> TenantRound:
         """Build one round's processes and resources on ``env``/``fabric``
-        without running it; returns the :class:`TenantRound` handle."""
+        without running it; returns the :class:`TenantRound` handle.
+
+        The last four parameters are the partitioned-cohort hooks (see
+        :mod:`repro.core.partition`); all default to the classic
+        whole-round install:
+
+        * ``local_nodes`` — instantiate only the plan's aggregators on
+          these nodes.  ``updates`` must already be filtered to them.
+        * ``boundary_emit(agg_id, node, weight, emit_at)`` — called when a
+          local aggregator's parent lives off-partition; the round's
+          ``top_done`` fires once every local boundary child has emitted.
+        * ``remote_inputs`` — ``(agg_id, src_node, weight, emit_at)``
+          intermediates recorded by other partitions, replayed here as
+          inter-node transfers into the (local) top aggregator with the
+          exact dataplane path a same-environment transfer takes.
+        * ``arrival_span`` — the full round's arrival window, forwarded to
+          the ingress stage so per-cohort gateway scaling sees the global
+          load, not the cohort's slice.
+        """
         if not updates:
             raise ConfigError("round needs at least one update")
         if not plan.aggregators:
@@ -357,6 +379,12 @@ class RoundEngine:
         nbytes = sizes.pop()
         costs = self._costs_for(nbytes)
         cfg = self.config
+        if local_nodes is not None:
+            stray = {u.node for u in updates} - set(local_nodes)
+            if stray:
+                raise ConfigError(
+                    f"partitioned install got updates for foreign nodes {sorted(stray)}"
+                )
 
         timeline = EventLog()
         nodes = {name: WorkerNode(env, NodeSpec(
@@ -369,7 +397,8 @@ class RoundEngine:
 
         # -- ingress resources ---------------------------------------------
         ingress_res: dict[str, Resource] = self.ingress.build_resources(
-            env, cfg, self.cal, self.node_names, updates, nbytes
+            env, cfg, self.cal, self.node_names, updates, nbytes,
+            arrival_span=arrival_span,
         )
 
         # -- instances --------------------------------------------------------
@@ -377,6 +406,9 @@ class RoundEngine:
         top_done = env.event()
         instances: dict[str, AggregatorInstance] = {}
         finished_on_node: dict[str, int] = {}
+        # Partitioned install: how many local instances emit to an
+        # off-partition parent; their last emission is this phase's "done".
+        boundary = {"expected": 0, "seen": 0}
 
         record = timeline.record if record_timeline else None
 
@@ -389,6 +421,15 @@ class RoundEngine:
                     top_done.succeed(now)   # have failed the event
                 return
             parent_spec = plan.aggregators[spec.parent]
+            if local_nodes is not None and parent_spec.node not in local_nodes:
+                # The parent runs in another partition: hand the
+                # intermediate to the cohort protocol instead of a
+                # same-environment transfer.
+                boundary_emit(inst.agg_id, inst.node, weight, now)
+                boundary["seen"] += 1
+                if boundary["seen"] >= boundary["expected"] and not top_done.triggered:
+                    top_done.succeed(now)
+                return
             if inst.node == parent_spec.node:
                 # Intra-node hand-off is a single fixed-latency hop — a
                 # flat callback on one timer instead of a full process
@@ -433,12 +474,26 @@ class RoundEngine:
                 _create(inst)
             inst.deliver(item)
 
-        self.lifecycle.begin_round()
+        admission = self.lifecycle.begin_round(env.now)
 
         def _create(inst: AggregatorInstance) -> None:
-            self.lifecycle.ensure_created(inst, env, cfg, finished_on_node)
+            self.lifecycle.ensure_created(inst, env, cfg, finished_on_node, admission)
 
         for agg_id, spec in plan.aggregators.items():
+            if local_nodes is not None and spec.node not in local_nodes:
+                continue
+            parent = spec.parent
+            if (
+                local_nodes is not None
+                and parent
+                and plan.aggregators[parent].node not in local_nodes
+            ):
+                if boundary_emit is None:
+                    raise ConfigError(
+                        "partitioned install crosses the partition but no "
+                        "boundary_emit was given"
+                    )
+                boundary["expected"] += 1
             inst = AggregatorInstance(
                 env=env,
                 agg_id=agg_id,
@@ -460,9 +515,50 @@ class RoundEngine:
             )
             instances[agg_id] = inst
 
+        top_is_local = local_nodes is None or plan.top.node in local_nodes
+        if not top_is_local and boundary["expected"] == 0:
+            raise ConfigError(
+                "partitioned install has no boundary children — the phase "
+                "could never settle"
+            )
+
         if cfg.prewarm:
             for inst in instances.values():
                 _create(inst)
+
+        # -- remote intermediates (partitioned root phase) -----------------
+        if remote_inputs:
+            if not top_is_local:
+                raise ConfigError("remote_inputs require the top aggregator locally")
+            top_spec = plan.top
+
+            def _remote_xfer(agg_id: str, src: str, weight: float):
+                # The exact inter-node path of ``_transfer``, replayed from
+                # another partition's recorded emission: tx serialization,
+                # the shared fabric, the top node's ingress admission, rx.
+                timeout = env.timeout
+                t0 = env._now
+                result.cross_node_transfers += 1
+                yield timeout(costs.inter_tx_latency)
+                nodes[src].cpu.charge("dataplane", costs.inter_tx_cpu)
+                yield fabric.transfer(src, top_spec.node, nbytes, label=agg_id)
+                req = ingress_res[top_spec.node].request()
+                yield req
+                yield timeout(costs.inter_rx_latency)
+                ingress_res[top_spec.node].release(req)
+                nodes[top_spec.node].cpu.charge("dataplane", costs.inter_rx_cpu)
+                if record is not None:
+                    record(agg_id, "network", t0, env._now)
+                _deliver(
+                    instances[top_spec.agg_id],
+                    MailboxItem(weight, agg_id, True, env._now),
+                )
+
+            for agg_id, src_node, weight, emit_at in remote_inputs:
+                Process(
+                    env, _remote_xfer(agg_id, src_node, weight),
+                    f"xfer:{agg_id}", emit_at,
+                )
 
         # -- update ingress processes -------------------------------------------
         leaf_assignment = _assign_updates_to_leaves(
@@ -516,14 +612,21 @@ class RoundEngine:
                 if held is not None:
                     held.resource.release(held)
 
-        ingress_procs: dict[int, Process] = {}
-        for update in updates:
-            ingress_procs[update.uid] = Process(
+        def _spawn_ingress(update: SimUpdate, delay: float) -> Process:
+            return Process(
                 env,
                 _ingress(update, leaf_assignment[update.uid]),
                 f"in:{update.uid}",
-                update.arrival_time,
+                delay,
             )
+
+        # The ingress stage decides arrival scheduling: one heap entry per
+        # update (default), or a coalescing walker that wakes batches
+        # (``gateway-coalesced``).  A coalescing stage fills this dict as
+        # arrivals fire, so chaos hooks see only already-arrived updates.
+        ingress_procs: dict[int, Process] = self.ingress.install_arrivals(
+            env, updates, _spawn_ingress
+        )
 
         tenant = TenantRound(
             label=label,

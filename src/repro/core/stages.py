@@ -105,9 +105,35 @@ class IngressStage:
         node_names: list[str],
         updates: list[SimUpdate],
         nbytes: float,
+        arrival_span: float | None = None,
     ) -> dict[str, Resource]:
-        """Admission resources, keyed by node (entries may be shared)."""
+        """Admission resources, keyed by node (entries may be shared).
+
+        ``arrival_span`` overrides the load-window the stage would compute
+        from ``updates`` — a partitioned round hands each cohort the *full*
+        round's span so per-shard scaling matches the unpartitioned model.
+        """
         raise NotImplementedError
+
+    def install_arrivals(
+        self,
+        env: Environment,
+        updates: list[SimUpdate],
+        spawn: Callable[[SimUpdate, float], object],
+    ) -> dict[int, object]:
+        """Start the per-update ingress work; returns uid → process.
+
+        ``spawn(update, delay)`` starts one update's ingress process after
+        ``delay`` seconds and returns it.  The default is one scheduler
+        entry per update — exactly the engine's historical behaviour.
+        Stages may coalesce instead (see :class:`CoalescedGatewayIngress`);
+        a coalescing stage fills the returned dict lazily, as arrivals
+        actually fire.
+        """
+        procs: dict[int, object] = {}
+        for update in updates:
+            procs[update.uid] = spawn(update, update.arrival_time)
+        return procs
 
     def reserved_cpu(
         self, cfg: PlatformConfig, duration: float, nodes_used: int
@@ -146,8 +172,13 @@ class GatewayIngress(IngressStage):
         node_names: list[str],
         updates: list[SimUpdate],
         nbytes: float,
+        arrival_span: float | None = None,
     ) -> dict[str, Resource]:
-        span = max(u.arrival_time for u in updates) - min(u.arrival_time for u in updates)
+        span = (
+            arrival_span
+            if arrival_span is not None
+            else max(u.arrival_time for u in updates) - min(u.arrival_time for u in updates)
+        )
         scaler = VerticalScaler(cal, max_cores=cfg.gateway_max_cores)
         per_node_updates: dict[str, int] = {}
         for u in updates:
@@ -165,6 +196,44 @@ class GatewayIngress(IngressStage):
         return cfg.gateway_reserved_cores * duration * nodes_used
 
 
+@INGRESS_STAGES.register("gateway-coalesced")
+class CoalescedGatewayIngress(GatewayIngress):
+    """Gateway ingress with batched arrival coalescing (stress scale).
+
+    Identical physics to :class:`GatewayIngress`, but instead of one
+    pending scheduler entry per update arrival, a single walker process
+    sweeps the arrivals in time order and spawns each update's ingress
+    work as its arrival instant is reached — the event heap holds one
+    arrival timer at a time instead of one per not-yet-arrived update, and
+    a batch of same-instant arrivals is woken by one heap entry.  The cost
+    is tie-break order among *exactly simultaneous* events, so the stage
+    is opt-in (``ingress_stage="gateway-coalesced"``) rather than the
+    gateway default; the million-client scenarios select it.
+    """
+
+    name = "gateway-coalesced"
+
+    def install_arrivals(
+        self,
+        env: Environment,
+        updates: list[SimUpdate],
+        spawn: Callable[[SimUpdate, float], object],
+    ) -> dict[int, object]:
+        procs: dict[int, object] = {}
+        ordered = sorted(updates, key=lambda u: (u.arrival_time, u.uid))
+        start = env.now
+
+        def walker():
+            for update in ordered:
+                wait = start + update.arrival_time - env.now
+                if wait > 0:
+                    yield env.timeout(wait)
+                procs[update.uid] = spawn(update, 0.0)
+
+        env.process(walker(), name="ingress:coalesce")
+        return procs
+
+
 class _BrokerIngress(IngressStage):
     """Shared stateful broker in front of every node (SF/SL)."""
 
@@ -176,6 +245,7 @@ class _BrokerIngress(IngressStage):
         node_names: list[str],
         updates: list[SimUpdate],
         nbytes: float,
+        arrival_span: float | None = None,
     ) -> dict[str, Resource]:
         shared = Resource(env, capacity=cfg.broker_cores)
         return {name: shared for name in node_names}
@@ -337,14 +407,31 @@ class WarmState:
         return sum(self.idle.values())
 
 
+@dataclass
+class RoundAdmission:
+    """Per-round ramp-admission context.
+
+    ``begin_round`` hands one of these to the installing round; every
+    ``ensure_created`` call of that round carries it back.  Keeping the
+    ramp counters *per round* (rather than on the engine-lifetime stage)
+    makes reactive admission correct for rounds admitted mid-replay: the
+    k-th instance on a node is admitted ``k`` ramp periods after *this
+    round's* start, and overlapping installed rounds no longer share (and
+    clobber) one global counter set.
+    """
+
+    round_start: float = 0.0
+    created_per_node: dict[str, int] = field(default_factory=dict)
+
+
 class LifecycleStage:
     """When aggregator instances come into existence.
 
     The stage is engine-lifetime: it keeps cross-round state (the warm
-    pool) and per-round admission counters.  The engine calls
-    :meth:`begin_round` before creating instances, :meth:`ensure_created`
-    whenever an instance must exist (prewarm or first delivery), and
-    :meth:`end_round` after the round settles.
+    pool).  The engine calls :meth:`begin_round` before creating instances
+    (receiving a per-round :class:`RoundAdmission` context),
+    :meth:`ensure_created` whenever an instance must exist (prewarm or
+    first delivery), and :meth:`end_round` after the round settles.
     """
 
     name = "base"
@@ -352,7 +439,7 @@ class LifecycleStage:
     def __init__(self) -> None:
         self.warm = WarmState()
 
-    def begin_round(self) -> None:
+    def begin_round(self, round_start: float = 0.0) -> RoundAdmission:
         raise NotImplementedError
 
     def ensure_created(
@@ -361,6 +448,7 @@ class LifecycleStage:
         env: Environment,
         cfg: PlatformConfig,
         finished_on_node: dict[str, int],
+        admission: RoundAdmission | None = None,
     ) -> None:
         raise NotImplementedError
 
@@ -389,12 +477,8 @@ class WarmPoolLifecycle(LifecycleStage):
 
     name = "warm-pool"
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._per_node_created: dict[str, int] = {}
-
-    def begin_round(self) -> None:
-        self._per_node_created = {}
+    def begin_round(self, round_start: float = 0.0) -> RoundAdmission:
+        return RoundAdmission(round_start=round_start)
 
     def ensure_created(
         self,
@@ -402,6 +486,7 @@ class WarmPoolLifecycle(LifecycleStage):
         env: Environment,
         cfg: PlatformConfig,
         finished_on_node: dict[str, int],
+        admission: RoundAdmission | None = None,
     ) -> None:
         if inst._created:  # noqa: SLF001 - engine owns the instance
             return
@@ -414,11 +499,14 @@ class WarmPoolLifecycle(LifecycleStage):
                 reused = True
         if not reused and cfg.ramp_delay > 0:
             # Reactive autoscaler ramp: the k-th instance on a node is
-            # only admitted k ramp periods after round start (§2.3's
-            # reactive scaling; models Knative's stepwise scale-up).
-            k = self._per_node_created.get(inst.node, 0)
-            self._per_node_created[inst.node] = k + 1
-            delay = max(0.0, k * cfg.ramp_delay - env.now)
+            # only admitted k ramp periods after *round* start (§2.3's
+            # reactive scaling; models Knative's stepwise scale-up).  The
+            # round start lives in the admission context, so rounds
+            # admitted mid-replay ramp from their own install instant.
+            ctx = admission if admission is not None else RoundAdmission()
+            k = ctx.created_per_node.get(inst.node, 0)
+            ctx.created_per_node[inst.node] = k + 1
+            delay = max(0.0, ctx.round_start + k * cfg.ramp_delay - env.now)
             if delay > 0:
 
                 def later(_: Event, inst=inst, reused=reused) -> None:
@@ -453,11 +541,11 @@ class ResilientLifecycle(WarmPoolLifecycle):
         self.warm_restarts = 0
         self.cold_restarts = 0
 
-    def begin_round(self) -> None:
-        super().begin_round()
+    def begin_round(self, round_start: float = 0.0) -> RoundAdmission:
         self.restarts = 0
         self.warm_restarts = 0
         self.cold_restarts = 0
+        return super().begin_round(round_start)
 
     def restart_instance(self, inst, env: Environment, cfg: PlatformConfig) -> None:
         self.restarts += 1

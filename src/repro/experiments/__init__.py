@@ -45,6 +45,7 @@ from repro.experiments import (  # noqa: F401  (import order = catalogue order)
     chaos_sweep,
     hetero_nic,
     stress500,
+    stress100k,
     trace_scenarios,
 )
 
@@ -61,6 +62,7 @@ __all__ = [
     "mixed_fleet",
     "overhead",
     "stress50",
+    "stress100k",
     "stress500",
     "trace_scenarios",
 ]

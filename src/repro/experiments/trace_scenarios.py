@@ -60,8 +60,17 @@ from repro.workloads.fedscale import MOBILE_PROFILE, make_population
 
 N_NODES = 8
 SYSTEMS = ("LIFL", "SL-H")
+#: the poisson cell additionally replays against baseline SL — its ramped
+#: admission is round-start-relative now (RoundAdmission), so mid-replay
+#: rounds ramp from their own admission instant instead of stacking
+#: sim-clock-sized delays
+POISSON_SYSTEMS = ("LIFL", "SL-H", "SL")
 
-_CONFIGS = {"LIFL": PlatformConfig.lifl, "SL-H": PlatformConfig.sl_h}
+_CONFIGS = {
+    "LIFL": PlatformConfig.lifl,
+    "SL-H": PlatformConfig.sl_h,
+    "SL": PlatformConfig.serverless,
+}
 
 
 def _platform(system: str) -> AggregationPlatform:
@@ -143,7 +152,7 @@ def _render_poisson(rows: list[dict]) -> str:
 @scenario(
     name="trace-poisson-slo",
     title="Poisson arrival-driven serving with SLO percentiles (non-paper)",
-    grid={"system": SYSTEMS, "rate_per_min": POISSON_RATES, "shards": SHARD_AXIS},
+    grid={"system": POISSON_SYSTEMS, "rate_per_min": POISSON_RATES, "shards": SHARD_AXIS},
     render=_render_poisson,
     workload=f"{N_NODES} nodes, {POISSON_HORIZON_S:.0f}s Poisson traces, 8-update rounds",
     metrics=("latency_p50_s", "latency_p95_s", "latency_p99_s", "slo_attainment"),

@@ -14,12 +14,15 @@ so that the aggregation goal is met even if some clients drop out.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.common.errors import ConfigError
 from repro.fl.client import FLClient
+
+if TYPE_CHECKING:
+    from repro.fl.population import ClientPopulation
 
 
 @dataclass(frozen=True)
@@ -89,3 +92,32 @@ class Selector:
         if not pool:
             return []
         return self.select(pool, rng)
+
+    def select_population(
+        self,
+        population: "ClientPopulation",
+        rng: np.random.Generator,
+        mask: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`select_available` over a struct-of-arrays
+        :class:`~repro.fl.population.ClientPopulation`.
+
+        ``mask`` is the availability mask (e.g.
+        ``population.available_mask(at)``); returns the selected client
+        *indices* in draw order.  Consumes the RNG stream exactly like the
+        per-object path — same ``rng.choice`` call over a pool of the same
+        size in the same order — so for matching populations the two paths
+        pick the same clients (property-tested).  Empty pool returns an
+        empty index array (the unformable-round case).
+        """
+        pool = np.flatnonzero(mask)
+        if pool.size == 0:
+            return pool
+        want = min(self.target_count(), pool.size)
+        if self.config.diversity == "uniform":
+            idx = rng.choice(pool.size, size=want, replace=False)
+            return pool[idx]
+        weights = np.maximum(1, population.num_samples[pool]).astype(float)
+        probs = weights / weights.sum()
+        idx = rng.choice(pool.size, size=want, replace=False, p=probs)
+        return pool[idx]

@@ -280,14 +280,102 @@ def run_macro_trace_diurnal_sharded(repeat: int = 3, shards: int = 4) -> dict:
     return out
 
 
-def run_suite(repeat: int = 3) -> dict:
-    return {
-        "micro": run_micro(repeat=repeat),
-        "macro_stress50": run_macro_stress50(repeat=repeat),
-        "macro_stress500": run_macro_stress500(repeat=repeat),
-        "macro_trace_diurnal": run_macro_trace_diurnal(repeat=repeat),
-        "macro_trace_diurnal_sharded": run_macro_trace_diurnal_sharded(repeat=repeat),
+def run_macro_stress100k(repeat: int = 3, shards: int = 4) -> dict:
+    """Wall-clock of the ``stress100k`` 100k-client/10k-participant LIFL
+    round pair, sequential vs cohort-partitioned across ``shards`` forked
+    workers (:mod:`repro.core.partition`).
+
+    Mirrors ``run_macro_trace_diurnal_sharded``'s honesty rules:
+    ``partitioned_seconds``/``measured_speedup`` time the forced fork
+    fan-out on *this* host, ``critical_path_seconds`` is the slowest
+    cohort's in-worker CPU time plus the serial root phase (the wall-clock
+    floor a host with ``shards`` free cores reaches), and ``host_cpus``
+    records which regime the measurement ran in.
+    """
+    from repro.common.units import RESNET18_BYTES
+    from repro.core.partition import PartitionedRoundEngine, _available_cpus
+    from repro.core.platform import AggregationPlatform, PlatformConfig
+    from repro.experiments.stress100k import SCALES, build_population, round_arrivals
+
+    scale = "100k"
+    _, participants, n_nodes = SCALES[scale]
+    nodes = [f"node{i:03d}" for i in range(n_nodes)]
+
+    def factory() -> AggregationPlatform:
+        cfg = PlatformConfig.lifl(ingress_stage="gateway-coalesced")
+        return AggregationPlatform(cfg, node_names=list(nodes))
+
+    population = build_population(scale)
+    rounds = [round_arrivals(population, scale, r) for r in range(2)]
+    out: dict = {
+        "host_cpus": _available_cpus(),
+        "shards": shards,
+        "clients": population.size,
+        "participants": participants,
+        "nodes": n_nodes,
     }
+    best_seq = None
+    act = 0.0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        run = PartitionedRoundEngine(factory, shards=1).run(rounds, RESNET18_BYTES)
+        dt = time.perf_counter() - t0
+        if best_seq is None or dt < best_seq:
+            best_seq = dt
+            act = run.results[1].act
+    best_part = None
+    critical = 0.0
+    per_shard: list[dict] = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        # workers=shards forces the forked path even on small hosts, so
+        # per-cohort CPU self-timing is always populated.
+        run = PartitionedRoundEngine(factory, shards=shards, workers=shards).run(
+            rounds, RESNET18_BYTES
+        )
+        dt = time.perf_counter() - t0
+        if run.results[1].act != act:
+            raise RuntimeError(
+                f"partitioned ACT {run.results[1].act} != sequential {act}"
+            )
+        if best_part is None or dt < best_part:
+            best_part = dt
+            critical = run.critical_path_seconds
+            per_shard = [
+                {
+                    "shard": rep.shard,
+                    "nodes": len(rep.nodes),
+                    "emissions": rep.emissions,
+                    "cpu_seconds": rep.cpu_seconds,
+                    "events_processed": rep.counters["events_processed"],
+                }
+                for rep in run.cohorts
+            ]
+    out["act_s"] = act
+    out["sequential_seconds"] = best_seq
+    out["partitioned_seconds"] = best_part
+    out["critical_path_seconds"] = critical
+    out["measured_speedup"] = best_seq / best_part if best_part else 0.0
+    out["critical_path_speedup"] = best_seq / critical if critical else 0.0
+    out["per_shard"] = per_shard
+    return out
+
+
+#: macro selector names for ``--only`` -> (metrics key, runner)
+MACRO_BENCHES = {
+    "stress50": ("macro_stress50", run_macro_stress50),
+    "stress500": ("macro_stress500", run_macro_stress500),
+    "trace_diurnal": ("macro_trace_diurnal", run_macro_trace_diurnal),
+    "trace_diurnal_sharded": ("macro_trace_diurnal_sharded", run_macro_trace_diurnal_sharded),
+    "stress100k": ("macro_stress100k", run_macro_stress100k),
+}
+
+
+def run_suite(repeat: int = 3) -> dict:
+    out: dict = {"micro": run_micro(repeat=repeat)}
+    for key, fn in MACRO_BENCHES.values():
+        out[key] = fn(repeat=repeat)
+    return out
 
 
 # --------------------------------------------------------------- record
@@ -296,9 +384,11 @@ def run_suite(repeat: int = 3) -> dict:
 def record_run(path: str, label: str, metrics: dict) -> dict:
     """Record one labelled entry in the trajectory file at ``path``.
 
-    An entry with the same label is replaced (re-running a benchmark
-    refreshes its numbers); a new label appends, preserving the trajectory
-    of earlier PRs."""
+    An entry with the same label is *merged*: metric sections present in
+    the new run replace their namesakes, sections it did not run (e.g.
+    everything a ``--only`` run skipped) are preserved, and the timestamp
+    refreshes.  A new label appends, preserving the trajectory of earlier
+    PRs."""
     doc: dict = {"benchmark": "engine", "runs": []}
     if os.path.exists(path):
         with open(path, encoding="utf-8") as fh:
@@ -311,6 +401,9 @@ def record_run(path: str, label: str, metrics: dict) -> dict:
     runs = doc.setdefault("runs", [])
     for i, existing in enumerate(runs):
         if existing.get("label") == label:
+            kept = dict(existing.get("metrics", {}))
+            kept.update(metrics)
+            entry["metrics"] = kept
             runs[i] = entry
             break
     else:
@@ -330,14 +423,36 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--label", default="dev", help="label for the recorded entry")
     parser.add_argument("--repeat", type=int, default=3, help="best-of-N repetitions (default 3)")
     parser.add_argument("--skip-macro", action="store_true", help="micro-benchmarks only")
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="MACRO",
+        help="run only the named benchmark(s); repeatable — one of "
+        f"{', '.join(['micro', *MACRO_BENCHES])} (recorded entries merge by label)",
+    )
     args = parser.parse_args(argv[1:])
 
-    if args.skip_macro:
-        metrics: dict = {"micro": run_micro(repeat=args.repeat)}
+    if args.only:
+        unknown = [n for n in args.only if n != "micro" and n not in MACRO_BENCHES]
+        if unknown:
+            parser.error(
+                f"unknown --only name(s) {', '.join(unknown)}; "
+                f"choose from micro, {', '.join(MACRO_BENCHES)}"
+            )
+        metrics: dict = {}
+        for name in args.only:
+            if name == "micro":
+                metrics["micro"] = run_micro(repeat=args.repeat)
+            else:
+                key, fn = MACRO_BENCHES[name]
+                metrics[key] = fn(repeat=args.repeat)
+    elif args.skip_macro:
+        metrics = {"micro": run_micro(repeat=args.repeat)}
     else:
         metrics = run_suite(repeat=args.repeat)
 
-    for name, row in metrics["micro"].items():
+    for name, row in metrics.get("micro", {}).items():
         print(f"  {name:<16} {row['events_per_second']:>12.0f} events/s  ({row['seconds']*1e3:.1f} ms)")
     for system, row in metrics.get("macro_stress50", {}).items():
         c = row["counters"]
@@ -371,6 +486,16 @@ def main(argv: list[str]) -> int:
             f"(measured {row['measured_speedup']:.2f}x, critical path "
             f"{row['critical_path_seconds']*1e3:.1f} ms = {row['critical_path_speedup']:.2f}x, "
             f"{sharded['host_cpus']} host cpu(s))"
+        )
+    big = metrics.get("macro_stress100k")
+    if big:
+        print(
+            f"  stress100k/LIFL   seq {big['sequential_seconds']*1e3:>7.1f} ms "
+            f"-> {big['shards']} cohorts {big['partitioned_seconds']*1e3:>7.1f} ms "
+            f"(measured {big['measured_speedup']:.2f}x, critical path "
+            f"{big['critical_path_seconds']*1e3:.1f} ms = {big['critical_path_speedup']:.2f}x, "
+            f"{big['clients']} clients, {big['participants']} participants, "
+            f"{big['host_cpus']} host cpu(s))"
         )
     if args.out:
         record_run(args.out, args.label, metrics)

@@ -267,6 +267,9 @@ class AvailabilityTrace:
 
     horizon: float
     windows: dict[str, tuple[tuple[float, float], ...]] = field(default_factory=dict)
+    #: lazily compiled CSR flat index over all windows (sorted-id order):
+    #: (ids, win_start, win_end, row_index, fingerprint)
+    _compiled: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def client_ids(self) -> list[str]:
@@ -280,9 +283,44 @@ class AvailabilityTrace:
                 break
         return False
 
+    def _compile(self) -> tuple:
+        """Flatten the per-id window dict into parallel numpy arrays, in
+        sorted-id order, so availability queries become one vectorized
+        interval test instead of a Python loop per client.  Recompiled
+        when the dict's shape changes (cheap fingerprint; traces are
+        effectively immutable after construction)."""
+        fingerprint = (len(self.windows), sum(len(w) for w in self.windows.values()))
+        if self._compiled is not None and self._compiled[4] == fingerprint:
+            return self._compiled
+        ids = self.client_ids
+        counts = np.array([len(self.windows[cid]) for cid in ids], dtype=np.int64)
+        flat = [span for cid in ids for span in self.windows[cid]]
+        if flat:
+            arr = np.asarray(flat)
+            starts, ends = arr[:, 0], arr[:, 1]
+        else:
+            starts = ends = np.empty(0)
+        rows = np.repeat(np.arange(len(ids), dtype=np.int64), counts)
+        self._compiled = (ids, starts, ends, rows, fingerprint)
+        return self._compiled
+
+    def available_mask(self, at: float) -> "np.ndarray":
+        """Boolean availability per client at ``at``, in sorted-id order —
+        the vectorized core of :meth:`available`."""
+        ids, starts, ends, rows, _ = self._compile()
+        hit = (starts <= at) & (at < ends)
+        mask = np.zeros(len(ids), dtype=bool)
+        mask[rows[hit]] = True
+        return mask
+
     def available(self, at: float) -> list[str]:
         """Client ids available at time ``at``, in sorted-id order (the
-        deterministic sampling base)."""
+        deterministic sampling base).  Large populations take the compiled
+        vectorized path; the output is identical either way."""
+        if len(self.windows) >= 512:
+            ids, *_ = self._compile()
+            mask = self.available_mask(at)
+            return [ids[int(i)] for i in np.flatnonzero(mask)]
         return [cid for cid in self.client_ids if self.is_available(cid, at)]
 
     def availability_fraction(self, at: float) -> float:

@@ -55,6 +55,7 @@ if TYPE_CHECKING:  # import-light: replay only needs these for typing
 
     from repro.core.platform import AggregationPlatform
     from repro.fl.client import FLClient
+    from repro.fl.population import ClientPopulation
     from repro.fl.selector import Selector
     from repro.traces.shard import ShardedReplayResult
 
@@ -208,6 +209,7 @@ class TraceReplayEngine:
         chaos: ChaosCorrelation | None = None,
         seed: int = 0,
         platform_factory: "Callable[[], AggregationPlatform] | None" = None,
+        population: "ClientPopulation | None" = None,
     ) -> None:
         if platform is None and platform_factory is None:
             raise ConfigError("replay needs a platform or a platform_factory")
@@ -223,12 +225,36 @@ class TraceReplayEngine:
         self.config.validate()
         self.availability = availability
         self.weights = dict(weights) if weights else {}
-        if (selector is None) != (clients is None):
+        if population is not None:
+            # The struct-of-arrays path: availability masks, selection, and
+            # weights all come from the population's arrays — it replaces
+            # the clients-list + AvailabilityTrace + weights-dict trio.
+            if clients is not None:
+                raise ConfigError("population and clients are mutually exclusive")
+            if selector is None:
+                raise ConfigError("population-driven replay needs a selector")
+            if availability is not None:
+                raise ConfigError(
+                    "population carries its own availability windows — "
+                    "do not also pass an availability trace"
+                )
+            if chaos is not None:
+                raise ConfigError(
+                    "chaos correlation needs the AvailabilityTrace path "
+                    "(population replay does not support it yet)"
+                )
+            if population.total_windows == 0:
+                raise ConfigError(
+                    "population-driven replay needs availability windows "
+                    "(generate with horizon > 0)"
+                )
+        elif (selector is None) != (clients is None):
             raise ConfigError("selector and clients must be given together")
-        if selector is not None and availability is None:
+        if selector is not None and availability is None and population is None:
             raise ConfigError("selector-driven replay needs an availability trace")
         self.selector = selector
         self.clients = list(clients) if clients else []
+        self.population = population
         self.chaos = chaos
         if chaos is not None:
             chaos.validate()
@@ -243,6 +269,23 @@ class TraceReplayEngine:
         so admission timing never perturbs the draw."""
         cfg = self.config
         rng = make_rng(self.seed, f"participants:{ev.tenant}:{ev.round_id}")
+        if self.population is not None:
+            # Vectorized path: mask + index selection + batched weight and
+            # offset draws; never materializes id strings or client objects.
+            pop = self.population
+            picked = self.selector.select_population(
+                pop, rng, pop.available_mask(ev.at)
+            )
+            if picked.size == 0:
+                return []
+            spread = cfg.arrival_spread_s
+            offsets = (
+                rng.uniform(0.0, spread, size=picked.size)
+                if spread > 0
+                else [0.0] * picked.size
+            )
+            weights = pop.weights(picked)
+            return [(float(off), float(w)) for off, w in zip(offsets, weights)]
         if self.selector is not None:
             avail = self.availability
             picked = self.selector.select_available(
@@ -311,6 +354,7 @@ class TraceReplayEngine:
                 seed=self.seed,
                 shards=shards,
                 workers=workers,
+                population=self.population,
             ).run(inline=inline)
         if self.platform is None:
             self.platform = self.platform_factory()

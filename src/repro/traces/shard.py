@@ -53,6 +53,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.common.errors import ConfigError
+from repro.core.partition import CohortPlan, plan_cohorts  # noqa: F401 - re-export:
+# plan_shards splits *tenants* across serving cells; plan_cohorts (one layer
+# down, in repro.core.partition) splits a single round's *cohort* across
+# worker processes along the HierarchyPlan boundary.
 from repro.perf.counters import COUNTER_FIELDS, EngineCounters, collect, maybe_register
 from repro.traces.models import Trace
 from repro.traces.replay import ReplayConfig, ReplayResult, TraceReplayEngine
@@ -61,15 +65,18 @@ from repro.traces.slo import SloTracker
 if TYPE_CHECKING:  # import-light, mirroring replay.py
     from repro.core.platform import AggregationPlatform
     from repro.fl.client import FLClient
+    from repro.fl.population import ClientPopulation
     from repro.fl.selector import Selector
     from repro.traces.models import AvailabilityTrace
     from repro.traces.replay import ChaosCorrelation
 
 __all__ = [
+    "CohortPlan",
     "ShardPlan",
     "ShardReport",
     "ShardedReplayEngine",
     "ShardedReplayResult",
+    "plan_cohorts",
     "plan_shards",
     "split_trace",
 ]
@@ -231,6 +238,7 @@ class ShardedReplayEngine:
         seed: int = 0,
         shards: int = 1,
         workers: int | None = None,
+        population: "ClientPopulation | None" = None,
     ) -> None:
         if not callable(platform_factory):
             raise ConfigError("platform_factory must be callable")
@@ -249,6 +257,7 @@ class ShardedReplayEngine:
         self.seed = seed
         self.shards = shards
         self.workers = workers
+        self.population = population
 
     # ------------------------------------------------------------------ run
     def run(self, inline: bool = False) -> ShardedReplayResult:
@@ -308,6 +317,7 @@ class ShardedReplayEngine:
                 clients=self.clients,
                 chaos=self.chaos,
                 seed=self.seed,
+                population=self.population,
             )
             result = engine.run()
         return ShardReport(

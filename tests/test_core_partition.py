@@ -1,0 +1,257 @@
+"""Partitioned fabric cohorts: exactness and conservation.
+
+The protocol's promise (see :mod:`repro.core.partition`): under the
+locality-aware + gateway-ingress shape, cutting a round's cohort across
+worker processes and replaying the boundary emissions in a root phase
+reproduces the unpartitioned round *exactly* — same ACT, same FedAvg
+weight, same CPU buckets, same instance bookkeeping — and ``shards=1``
+is byte-identical because it literally runs the sequential engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.core.partition import CohortPlan, PartitionedRoundEngine, plan_cohorts
+from repro.core.platform import AggregationPlatform, PlatformConfig
+
+NB = 5e6
+
+
+def _nodes(n: int) -> list[str]:
+    return [f"node{i}" for i in range(n)]
+
+
+def _factory(n_nodes: int = 8, **overrides):
+    def factory() -> AggregationPlatform:
+        return AggregationPlatform(
+            PlatformConfig.lifl(**overrides), node_names=_nodes(n_nodes)
+        )
+
+    return factory
+
+
+def _rounds(n_rounds: int, per_round: int, seed: int = 7) -> list[list[tuple[float, float]]]:
+    rng = make_rng(seed, "partition-test")
+    return [
+        [
+            (float(rng.uniform(0.0, 25.0)), float(rng.integers(10, 200)))
+            for _ in range(per_round)
+        ]
+        for _ in range(n_rounds)
+    ]
+
+
+def _reference(factory, rounds):
+    platform = factory()
+    return [
+        platform.run_round(arr, NB, include_eval=False, record_timeline=False)
+        for arr in rounds
+    ]
+
+
+def _assert_exact(ref, got) -> None:
+    assert len(ref) == len(got)
+    for a, b in zip(ref, got):
+        assert a.act == b.act
+        assert a.total_weight == b.total_weight
+        assert a.updates_aggregated == b.updates_aggregated
+        assert a.nodes_used == b.nodes_used
+        assert a.cross_node_transfers == b.cross_node_transfers
+        assert a.aggregators_created == b.aggregators_created
+        assert a.aggregators_reused == b.aggregators_reused
+        assert a.cpu_work == pytest.approx(b.cpu_work, abs=1e-12)
+        assert a.cpu_reserved == pytest.approx(b.cpu_reserved, abs=1e-9)
+        assert sorted(a.cpu_by_component) == sorted(b.cpu_by_component)
+
+
+# ---- cohort planning conservation ----------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_nodes=st.integers(min_value=2, max_value=24),
+    per_round=st.integers(min_value=4, max_value=80),
+    n_rounds=st.integers(min_value=1, max_value=3),
+    shards=st.integers(min_value=1, max_value=12),
+    seed=st.integers(0, 2**20),
+)
+def test_plan_cohorts_conserves_clients_and_weights(
+    n_nodes, per_round, n_rounds, shards, seed
+) -> None:
+    platform = _factory(n_nodes)()
+    prepared = [
+        platform.prepare_round(arr, NB)
+        for arr in _rounds(n_rounds, per_round, seed=seed)
+    ]
+    plan = plan_cohorts(prepared, shards)
+    assert isinstance(plan, CohortPlan)
+    plan.validate(prepared)  # disjoint cover of every active node
+    assigned = {n for cohort in plan.assignments for n in cohort}
+    for updates, hplan in prepared:
+        assert plan.root_node == hplan.top.node
+        # every update lands in exactly one cohort (or on the root), and
+        # the cohorts partition the full weight
+        total = sum(u.weight for u in updates)
+        by_part = sum(
+            u.weight for u in updates if u.node in assigned or u.node == plan.root_node
+        )
+        assert by_part == pytest.approx(total)
+        for u in updates:
+            owners = [c for c in plan.assignments if u.node in c]
+            assert len(owners) == (0 if u.node == plan.root_node else 1)
+    assert plan.n_shards <= shards
+
+
+def test_plan_cohorts_caps_at_node_count_and_is_deterministic() -> None:
+    platform = _factory(4)()
+    prepared = [platform.prepare_round(arr, NB) for arr in _rounds(1, 40)]
+    a = plan_cohorts(prepared, 16)
+    b = plan_cohorts(prepared, 16)
+    assert a == b
+    assert a.n_shards <= 4
+
+
+# ---- exactness ------------------------------------------------------------
+
+
+def test_shards1_is_sequential_engine() -> None:
+    factory = _factory()
+    rounds = _rounds(3, 120)
+    ref = _reference(factory, rounds)
+    run = PartitionedRoundEngine(factory, shards=1).run(rounds, NB)
+    assert not run.forked
+    _assert_exact(ref, run.results)
+
+
+def test_partitioned_equals_unpartitioned_inline() -> None:
+    factory = _factory()
+    rounds = _rounds(3, 160)
+    ref = _reference(factory, rounds)
+    for shards in (2, 3, 4):
+        run = PartitionedRoundEngine(factory, shards=shards).run(
+            rounds, NB, inline=True
+        )
+        _assert_exact(ref, run.results)
+        assert run.cohorts  # the cohort breakdown is populated
+        assert sum(rep.emissions for rep in run.cohorts) > 0
+
+
+def test_forked_equals_inline() -> None:
+    factory = _factory()
+    rounds = _rounds(2, 140)
+    inline = PartitionedRoundEngine(factory, shards=4).run(rounds, NB, inline=True)
+    forked = PartitionedRoundEngine(factory, shards=4, workers=4).run(rounds, NB)
+    assert forked.forked  # fork must actually engage on this platform
+    _assert_exact(inline.results, forked.results)
+    assert forked.critical_path_seconds > 0.0
+
+
+def test_warm_pool_turns_over_across_partitioned_rounds() -> None:
+    factory = _factory()
+    rounds = _rounds(2, 160)
+    run = PartitionedRoundEngine(factory, shards=2).run(rounds, NB, inline=True)
+    assert run.results[0].aggregators_created > 0
+    assert run.results[1].aggregators_reused > 0
+    assert run.results[1].aggregators_created == 0
+
+
+def test_single_node_round_degenerates_to_sequential() -> None:
+    factory = _factory(1)
+    rounds = _rounds(1, 30)
+    ref = _reference(factory, rounds)
+    run = PartitionedRoundEngine(factory, shards=4).run(rounds, NB)
+    _assert_exact(ref, run.results)
+    assert run.cohorts == []
+
+
+# ---- gating ---------------------------------------------------------------
+
+
+def test_locality_agnostic_platform_is_refused() -> None:
+    def factory():
+        return AggregationPlatform(PlatformConfig.sl_h(), node_names=_nodes(4))
+
+    with pytest.raises(ConfigError, match="locality-aware"):
+        PartitionedRoundEngine(factory, shards=2).run(_rounds(1, 20), NB)
+
+
+def test_broker_ingress_platform_is_refused() -> None:
+    def factory():
+        return AggregationPlatform(PlatformConfig.serverless(), node_names=_nodes(4))
+
+    with pytest.raises(ConfigError, match="locality-aware|gateway"):
+        PartitionedRoundEngine(factory, shards=2).run(_rounds(1, 20), NB)
+
+
+def test_bad_arguments_are_refused() -> None:
+    factory = _factory()
+    with pytest.raises(ConfigError):
+        PartitionedRoundEngine(factory, shards=0)
+    with pytest.raises(ConfigError):
+        PartitionedRoundEngine(factory, shards=2, workers=0)
+    with pytest.raises(ConfigError):
+        PartitionedRoundEngine(factory, shards=2).run([], NB)
+    with pytest.raises(ConfigError):
+        plan_cohorts([], 2)
+
+
+# ---- coalesced ingress ----------------------------------------------------
+
+
+def test_coalesced_ingress_matches_default_act() -> None:
+    """The coalesced walker admits the same arrivals at the same instants;
+    with distinct arrival times the round dynamics are identical."""
+    rounds = _rounds(2, 120, seed=11)
+    ref = _reference(_factory(), rounds)
+    got = _reference(_factory(ingress_stage="gateway-coalesced"), rounds)
+    for a, b in zip(ref, got):
+        assert a.act == b.act
+        assert a.total_weight == b.total_weight
+        assert a.cross_node_transfers == b.cross_node_transfers
+
+
+def test_coalesced_ingress_partitions_exactly() -> None:
+    factory = _factory(ingress_stage="gateway-coalesced")
+    rounds = _rounds(2, 120, seed=13)
+    ref = _reference(factory, rounds)
+    run = PartitionedRoundEngine(factory, shards=3).run(rounds, NB, inline=True)
+    _assert_exact(ref, run.results)
+
+
+# ---- stress100k scenario golden -------------------------------------------
+
+
+def test_stress100k_small_cell_is_partition_invariant() -> None:
+    from repro.experiments.stress100k import run_cell
+
+    base = run_cell("5k", 1)
+    for shards in (2, 4):
+        row = run_cell("5k", shards, inline=True)
+        for key, val in base.items():
+            if key == "shards":
+                continue
+            if key == "cpu_s":
+                # bucket folds add per-shard partials in shard order, so the
+                # sum can differ from sequential order by float rounding
+                assert row[key] == pytest.approx(val, rel=1e-12)
+            else:
+                assert row[key] == val, key
+
+
+def test_population_weights_flow_into_round_weight() -> None:
+    """The measured round's total FedAvg weight equals the sum of the
+    selected clients' sample counts — conservation end to end."""
+    from repro.experiments.stress100k import build_population, round_arrivals
+
+    pop = build_population("5k")
+    arrivals = round_arrivals(pop, "5k", 1)
+    factory = _factory(25)
+    res = factory().run_round(arrivals, NB, include_eval=False, record_timeline=False)
+    assert res.total_weight == pytest.approx(sum(w for _, w in arrivals))
+    assert np.all([w >= 10 for _, w in arrivals])  # fedscale count floor

@@ -154,7 +154,7 @@ def test_lifecycle_stage_raising_mid_round_propagates():
         class ExplodingLifecycle(WarmPoolLifecycle):
             name = "exploding"
 
-            def ensure_created(self, inst, env, cfg, finished_on_node):
+            def ensure_created(self, inst, env, cfg, finished_on_node, admission=None):
                 raise RuntimeError("stage failed mid-round")
 
     cfg = PlatformConfig.lifl(lifecycle_stage="exploding")
@@ -219,3 +219,101 @@ def test_resilient_stage_registered_and_resolves():
     stage = resolve_lifecycle(PlatformConfig.lifl(lifecycle_stage="resilient"))
     assert isinstance(stage, ResilientLifecycle)
     assert isinstance(stage, WarmPoolLifecycle)  # inherits warm-pool behaviour
+
+
+def test_ramp_admission_is_round_start_relative():
+    """The reactive ramp (§2.3) counts from the *round's* start, not the
+    simulation epoch — a round admitted mid-replay at t=100 ramps its k-th
+    instance at 100 + k*ramp, where the old sim-clock-relative form would
+    have admitted everything instantly."""
+    from repro.sim.engine import Environment
+
+    cfg = PlatformConfig.serverless()  # ramp_delay 6, no prewarm, no reuse
+    stage = WarmPoolLifecycle()
+    env = Environment()
+    created: list[float] = []
+
+    class Inst:
+        node = "node0"
+        _created = False
+
+        def ensure_created(self, reused=False):
+            created.append(env.now)
+
+    def driver():
+        yield env.timeout(100.0)
+        admission = stage.begin_round(env.now)
+        for _ in range(3):
+            stage.ensure_created(Inst(), env, cfg, {}, admission)
+
+    env.process(driver())
+    env.run()
+    assert created == [100.0, 106.0, 112.0]
+
+
+def test_ramp_admission_contexts_do_not_clobber():
+    """Two overlapping rounds each carry their own RoundAdmission, so their
+    per-node creation counters ramp independently."""
+    from repro.sim.engine import Environment
+
+    cfg = PlatformConfig.serverless()
+    stage = WarmPoolLifecycle()
+    env = Environment()
+    created: dict[str, list[float]] = {"a": [], "b": []}
+
+    def inst(tag: str):
+        class Inst:
+            node = "node0"
+            _created = False
+
+            def ensure_created(self, reused=False):
+                created[tag].append(env.now)
+
+        return Inst()
+
+    def round_at(t0: float, tag: str):
+        yield env.timeout(t0)
+        admission = stage.begin_round(env.now)
+        for _ in range(2):
+            stage.ensure_created(inst(tag), env, cfg, {}, admission)
+
+    env.process(round_at(10.0, "a"))
+    env.process(round_at(13.0, "b"))
+    env.run()
+    assert created["a"] == [10.0, 16.0]
+    assert created["b"] == [13.0, 19.0]
+
+
+def test_coalesced_gateway_stage_registered():
+    from repro.core.stages import CoalescedGatewayIngress
+
+    assert "gateway-coalesced" in INGRESS_STAGES.names()
+    stage = resolve_ingress(PlatformConfig.lifl(ingress_stage="gateway-coalesced"))
+    assert isinstance(stage, CoalescedGatewayIngress)
+    assert isinstance(stage, GatewayIngress)  # same admission resources
+
+
+def test_coalesced_arrivals_spawn_at_identical_instants():
+    """One walker process admits the whole batch at the same instants the
+    per-update heap entries would have."""
+    from repro.core.stages import CoalescedGatewayIngress
+    from repro.sim.engine import Environment
+
+    updates = _updates(6)
+    for stage_cls in (GatewayIngress, CoalescedGatewayIngress):
+        env = Environment()
+        seen: dict[int, float] = {}
+
+        def spawn(update, delay, env=env, seen=seen):
+            def arrive(e=env, u=update, s=seen):
+                yield e.timeout(delay)
+                s[u.uid] = e.now
+
+            return env.process(arrive())
+
+        # default path spawns with delay=arrival_time; coalesced path
+        # spawns with delay=0 at the walker's wake instant
+        procs = stage_cls().install_arrivals(env, updates, spawn)
+        env.run()
+        assert len(procs) == len(updates)
+        assert seen == {u.uid: u.arrival_time for u in updates}

@@ -146,3 +146,29 @@ def test_trace_scenarios_golden_json_seq_vs_parallel_vs_profile(tmp_path):
     for row in rows:
         for key in ("latency_p50_s", "latency_p95_s", "latency_p99_s", "slo_attainment"):
             assert key in row
+
+
+def test_stress100k_small_cell_golden_json_seq_vs_parallel(tmp_path):
+    """The stress100k 5k cell (all shard values) through sequential and
+    ``--jobs 4`` campaigns: the partitioned protocol's rows must be
+    byte-identical whether cohorts fork (sequential campaign) or run
+    inline (daemonic pool workers), and across the shard axis at all —
+    the shards=1 row IS the unpartitioned sequential engine, so equality
+    here golden-pins partitioned == unpartitioned."""
+    filters = {"scale": "5k"}
+    scenarios = ("stress100k",)
+    seq, seq_result = _campaign_json(
+        tmp_path, "100k-seq", jobs=1, profile=False, scenarios=scenarios, filters=filters
+    )
+    par, _ = _campaign_json(
+        tmp_path, "100k-par", jobs=4, profile=False, scenarios=scenarios, filters=filters
+    )
+    assert set(seq) == {"stress100k.json"}
+    for name in seq:
+        assert seq[name] == par[name], f"{name}: sequential vs --jobs 4 differ"
+    rows = [row for rep in seq_result.reports for row in rep.rows]
+    assert {row["shards"] for row in rows} == {1, 2, 4}
+    base = {k: v for k, v in rows[0].items() if k not in ("shards", "cpu_s")}
+    for row in rows[1:]:
+        assert {k: v for k, v in row.items() if k not in ("shards", "cpu_s")} == base
+    assert "partition-invariant" in seq_result.reports[0].text

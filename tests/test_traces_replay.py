@@ -281,3 +281,97 @@ def test_empty_trace_yields_empty_result():
     ).run()
     assert result.records == []
     assert result.row()["rounds"] == 0
+
+
+# ---------------------------------------------------- SoA population path
+def _population(n=400, seed=5, horizon=300.0):
+    from repro.fl.population import ClientPopulation
+
+    return ClientPopulation.generate(n, seed=seed, horizon=horizon)
+
+
+def test_population_replay_matches_client_list_replay():
+    """The struct-of-arrays path draws the same participants, weights,
+    offsets — hence the same rows — as the FLClient + AvailabilityTrace
+    path over the equivalent population."""
+    from repro.fl.selector import Selector, SelectorConfig
+    from repro.workloads.fedscale import make_population
+
+    pop = _population()
+    ref = make_population(400, seed=5)
+    sel = Selector(SelectorConfig(aggregation_goal=12, over_provision=1.0))
+    trace = _trace(horizon=120.0)
+    cfg = ReplayConfig(round_updates=12, nbytes=RESNET18_BYTES, slo_target_s=15.0)
+    a = TraceReplayEngine(
+        _platform(), trace, cfg, selector=sel, population=pop, seed=5
+    ).run()
+    b = TraceReplayEngine(
+        _platform(),
+        trace,
+        cfg,
+        availability=pop.to_availability_trace(),
+        weights={pop.client_id(i): float(pop.num_samples[i]) for i in range(pop.size)},
+        selector=sel,
+        clients=ref.clients,
+        seed=5,
+    ).run()
+    assert a.row() == b.row()
+    for ra, rb in zip(a.records, b.records):
+        assert ra.participants == rb.participants
+
+
+def test_population_replay_shards_like_any_other():
+    from functools import partial
+
+    from repro.fl.selector import Selector, SelectorConfig
+
+    pop = _population()
+    sel = Selector(SelectorConfig(aggregation_goal=10, over_provision=1.0))
+    trace = _trace(horizon=100.0)
+    cfg = ReplayConfig(round_updates=10, nbytes=RESNET18_BYTES, slo_target_s=15.0)
+    make = partial(
+        TraceReplayEngine,
+        None,
+        trace,
+        cfg,
+        selector=sel,
+        population=pop,
+        seed=7,
+        platform_factory=_platform,
+    )
+    assert make().run(shards=2, inline=True).row() == make().run().row()
+
+
+def test_population_validation_rules():
+    from repro.fl.selector import Selector, SelectorConfig
+
+    pop = _population()
+    sel = Selector(SelectorConfig(aggregation_goal=8))
+    # population needs a selector
+    with pytest.raises(ConfigError, match="selector"):
+        TraceReplayEngine(_platform(), _trace(), population=pop)
+    # mutually exclusive with a clients list
+    with pytest.raises(ConfigError, match="mutually exclusive"):
+        TraceReplayEngine(
+            _platform(), _trace(), selector=sel, population=pop, clients=[]
+        )
+    # carries its own windows: no separate availability trace
+    with pytest.raises(ConfigError, match="availability"):
+        TraceReplayEngine(
+            _platform(),
+            _trace(),
+            selector=sel,
+            population=pop,
+            availability=AvailabilityTrace(horizon=1.0),
+        )
+    # chaos correlation stays on the AvailabilityTrace path
+    with pytest.raises(ConfigError, match="chaos"):
+        TraceReplayEngine(
+            _platform(), _trace(), selector=sel, population=pop,
+            chaos=ChaosCorrelation(),
+        )
+    # windowless populations cannot drive availability-aware rounds
+    with pytest.raises(ConfigError, match="windows"):
+        TraceReplayEngine(
+            _platform(), _trace(), selector=sel, population=_population(horizon=0.0)
+        )
