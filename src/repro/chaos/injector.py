@@ -199,6 +199,51 @@ class FaultInjector:
             add(crash.at, lambda ev=crash: self._crash(env, engine, tenants, ev, rng))
         for wave in plan.dropouts:
             add(wave.at, lambda ev=wave: self._dropout(tenants, ev, rng))
+        self._add_fabric_actions(fabric, add)
+        if actions:
+            actions.sort(key=lambda a: (a[0], a[1]))
+            Process(env, self._timeline(env, actions), "chaos:timeline")
+
+    def install_fabric(self, env: Environment, fabric: Fabric) -> None:
+        """Install only the plan's fabric-level weather — NIC degradation,
+        partition windows, slow nodes — with no round attached.
+
+        This is the hook long-horizon serving loops
+        (:class:`~repro.traces.replay.TraceReplayEngine`) use: cluster
+        weather spans many rounds, so it belongs on the replay's shared
+        fabric rather than on any one installed round.  Plans carrying
+        round-scoped events (crashes, dropout waves) are refused — those
+        need tenants to act on.
+        """
+        plan = self.plan
+        if plan.crashes or plan.dropouts:
+            raise ChaosError(
+                "fabric-only install cannot execute crash/dropout events — "
+                "install them on a round via install()"
+            )
+        known_nodes = set(fabric.nodes)
+        for ev in (*plan.nic_degradations, *plan.slow_nodes):
+            if ev.node not in known_nodes:
+                raise ChaosError(f"fault targets unknown node {ev.node!r}")
+        for part in plan.partitions:
+            missing = set(part.nodes) - known_nodes
+            if missing:
+                raise ChaosError(f"partition targets unknown nodes {sorted(missing)}")
+        actions: list[tuple[float, int, Callable[[], None]]] = []
+
+        def add(at: float, fn: Callable[[], None]) -> None:
+            actions.append((at, len(actions), fn))
+
+        self._add_fabric_actions(fabric, add)
+        if actions:
+            actions.sort(key=lambda a: (a[0], a[1]))
+            Process(env, self._timeline(env, actions), "chaos:timeline")
+
+    def _add_fabric_actions(
+        self, fabric: Fabric, add: Callable[[float, Callable[[], None]], None]
+    ) -> None:
+        """Queue the plan's fabric-level events (shared by both installs)."""
+        plan = self.plan
         for deg in plan.nic_degradations:
             add(deg.start, lambda n=deg.node, f=deg.factor: self._rescale(fabric, n, f))
             add(deg.end, lambda n=deg.node: self._rescale(fabric, n, 1.0))
@@ -209,9 +254,6 @@ class FaultInjector:
             factor = 1.0 / slow.slowdown
             add(slow.start, lambda n=slow.node, f=factor: self._slow(fabric, n, f))
             add(slow.end, lambda n=slow.node: self._slow(fabric, n, 1.0))
-        if actions:
-            actions.sort(key=lambda a: (a[0], a[1]))
-            Process(env, self._timeline(env, actions), "chaos:timeline")
 
     # -- fault actions ------------------------------------------------------
     def _timeline(self, env: Environment, actions: list):

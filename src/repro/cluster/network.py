@@ -34,10 +34,34 @@ heterogeneous fleets (mixed 1/10/100 Gbps nodes) share one interconnect.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.common.errors import SimulationError
 from repro.sim.engine import Environment, Event, Timeout
+
+
+@dataclass(frozen=True)
+class NodeHealth:
+    """One node's fabric health at a snapshot instant.
+
+    ``degrade_factor`` is the persistent NIC degradation (1.0 when
+    healthy); ``partitioned`` is the transient partition-window state;
+    ``rate_factor`` composes the two exactly as the links do — 0.0 while
+    partitioned, the degradation factor otherwise.
+    """
+
+    degrade_factor: float
+    partitioned: bool
+
+    @property
+    def rate_factor(self) -> float:
+        return 0.0 if self.partitioned else self.degrade_factor
+
+    @property
+    def healthy(self) -> bool:
+        """Fully healthy: not partitioned and not degraded at all."""
+        return not self.partitioned and self.degrade_factor >= 1.0
 
 
 class Flow:
@@ -284,6 +308,29 @@ class Fabric:
     @property
     def partitioned_nodes(self) -> set[str]:
         return set(self._partitioned)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Every node registered on this fabric, in registration order."""
+        return tuple(self._tx)
+
+    def node_health(self) -> dict[str, NodeHealth]:
+        """One consolidated health snapshot for every registered node.
+
+        This is the API control-plane policies consume: instead of probing
+        ``node_rate_factor`` and ``partitioned_nodes`` separately (and
+        racing a chaos event between the two reads), a caller takes one
+        snapshot and reasons about degrade factor and partition state
+        together.  The snapshot is a plain dict of frozen records — it
+        never mutates when the fabric's state changes afterwards.
+        """
+        return {
+            name: NodeHealth(
+                degrade_factor=self._degraded.get(name, 1.0),
+                partitioned=name in self._partitioned,
+            )
+            for name in self._tx
+        }
 
     def transfer(self, src: str, dst: str, nbytes: float, label: str = "") -> Event:
         """Move ``nbytes`` from ``src`` to ``dst``; fires when both NICs done.

@@ -18,7 +18,10 @@ under test in Fig. 8 and the §6.1 overhead measurements:
 * :mod:`repro.controlplane.metrics` — the metrics server fed by the
   eBPF-sidecar metrics maps;
 * :mod:`repro.controlplane.agent` / :mod:`repro.controlplane.coordinator` —
-  the per-node agent and the cluster-wide coordinator tying it together.
+  the per-node agent and the cluster-wide coordinator tying it together;
+* :mod:`repro.controlplane.reactive` — the closed-loop reactive controller
+  the trace replay runs in virtual time: warm-pool scaling, per-tenant
+  admission limits, chaos-aware placement, and graceful shedding.
 """
 
 from repro.controlplane.autoscaler import (
@@ -36,6 +39,15 @@ from repro.controlplane.hierarchy import (
     plan_node_hierarchy,
 )
 from repro.controlplane.metrics import MetricsServer, NodeMetrics
+from repro.controlplane.reactive import (
+    ACTION_KINDS,
+    ControlAction,
+    Controller,
+    ControllerConfig,
+    ControllerReport,
+    DeadlineExceeded,
+    pool_floor_for,
+)
 from repro.controlplane.placement import (
     BestFitPlacer,
     FirstFitPlacer,
@@ -49,10 +61,16 @@ from repro.controlplane.reuse import RuntimeHandle, WarmPool
 from repro.controlplane.tag import Channel, TagGraph, TagNode
 
 __all__ = [
+    "ACTION_KINDS",
     "AggregatorSpec",
     "BestFitPlacer",
     "Channel",
+    "ControlAction",
+    "Controller",
+    "ControllerConfig",
+    "ControllerReport",
     "Coordinator",
+    "DeadlineExceeded",
     "EwmaEstimator",
     "FirstFitPlacer",
     "HierarchyAwareAutoscaler",
@@ -74,4 +92,5 @@ __all__ = [
     "make_placer",
     "plan_hierarchy",
     "plan_node_hierarchy",
+    "pool_floor_for",
 ]

@@ -1,0 +1,461 @@
+"""The closed-loop control plane: a reactive controller in virtual time.
+
+Everything else in the serving stack is open-loop — warm-pool sizes,
+per-tenant admission limits, and hierarchy placement are fixed for a whole
+replay while :class:`~repro.traces.slo.SloTracker` watches attainment
+passively and the fabric's chaos state is invisible to placement.
+:class:`Controller` closes the loop: a tick process on the replay's
+environment samples three signals —
+
+* **queue depth** per tenant (bounded admission queue + deferral room),
+* **SLO burn rate** (the tracker's windowed attainment,
+  :meth:`SloTracker.burn_rate <repro.traces.slo.SloTracker.burn_rate>`),
+* **node health** (one :meth:`Fabric.node_health()
+  <repro.cluster.network.Fabric.node_health>` snapshot per decision) —
+
+and emits typed :class:`ControlAction` records as it actuates:
+
+* **reactive warm-pool scaling** — provision warm aggregator runtimes
+  ahead of demand (they become idle-warm after ``pool_spinup_s``) and
+  retire idle ones when the queue drains, never below the quorum floor;
+* **per-tenant admission limits** — raise a backlogged tenant's
+  concurrent-round limit toward ``limit_max`` while the burn rate is
+  acceptable, cut it back toward the configured base when the tenant is
+  idle or the service is burning its SLO budget;
+* **chaos-aware placement** — restrict placement to nodes whose health
+  snapshot clears ``min_rate_factor``, re-checking the chosen plan
+  against a *fresh* snapshot immediately before install and retrying with
+  backoff when a chosen node degraded in between;
+* **graceful shedding** — sweep the deferral queues every tick and shed
+  entries whose deadline passed (the replay owns the deferral mechanics;
+  the controller owns the clock that expires them).
+
+Every scale decision is **hysteretic and bounded**: a signal must persist
+for ``hysteresis_ticks`` consecutive ticks before the controller acts, and
+each action moves at most one configured step — the loop cannot oscillate
+on a flapping signal, and ``limit_min >= 1`` guarantees no tenant is ever
+starved outright.
+
+Determinism: the controller takes no random draws at all.  Its tick
+timeline interleaves with the replay's events purely through virtual time
+and deterministic insertion order, so a controller-enabled replay is
+byte-reproducible from the scenario seed — per shard, under
+:class:`~repro.traces.shard.ShardedReplayEngine`, exactly as unsharded.
+When no :class:`ControllerConfig` is given the replay never constructs a
+controller and its output is byte-identical to a build without this
+module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.common.errors import ConfigError, LiflError
+
+if TYPE_CHECKING:
+    from repro.cluster.network import Fabric
+    from repro.controlplane.hierarchy import HierarchyPlan
+    from repro.core.stages import WarmState
+    from repro.sim.engine import Environment
+    from repro.traces.slo import SloTracker
+
+__all__ = [
+    "ACTION_KINDS",
+    "ControlAction",
+    "Controller",
+    "ControllerConfig",
+    "ControllerReport",
+    "DeadlineExceeded",
+]
+
+
+class DeadlineExceeded(LiflError):
+    """A round overran the controller's ``round_deadline_s`` watchdog and
+    was aborted — the graceful alternative to serving a round that a
+    partitioned or degraded node has stalled indefinitely."""
+
+    def __init__(self, label: str, deadline_s: float) -> None:
+        super().__init__(f"round {label} exceeded its {deadline_s}s deadline")
+        self.label = label
+        self.deadline_s = deadline_s
+
+
+#: every action kind the controller can emit (row keys derive from these)
+ACTION_KINDS = (
+    "pool-up",
+    "pool-down",
+    "limit-up",
+    "limit-down",
+    "defer",
+    "shed",
+    "replan",
+    "deadline-abort",
+)
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """One typed control decision, for the action log."""
+
+    at: float
+    kind: str
+    target: str
+    delta: int = 0
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACTION_KINDS:
+            raise ConfigError(f"unknown control action kind {self.kind!r}")
+
+
+@dataclass
+class ControllerReport:
+    """What the control loop did: tick count, per-kind action tally, and
+    the full typed action log (dropped when shard reports merge — only the
+    tallies fold, the logs stay per shard)."""
+
+    ticks: int = 0
+    counts: dict[str, int] = field(
+        default_factory=lambda: {kind: 0 for kind in ACTION_KINDS}
+    )
+    actions: list[ControlAction] = field(default_factory=list)
+
+    def record(self, action: ControlAction) -> None:
+        self.counts[action.kind] += 1
+        self.actions.append(action)
+
+    def merge(self, other: "ControllerReport") -> None:
+        self.ticks += other.ticks
+        for kind, n in other.counts.items():
+            self.counts[kind] = self.counts.get(kind, 0) + n
+
+    def row(self) -> dict:
+        """Flat scenario-row columns (``ctl_`` prefixed)."""
+        out = {"ctl_ticks": self.ticks}
+        for kind in ACTION_KINDS:
+            out[f"ctl_{kind.replace('-', '_')}"] = self.counts.get(kind, 0)
+        return out
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Knob panel for one reactive control loop.
+
+    Every feature degrades to a no-op when disabled; a config with all
+    four features off still ticks but never acts — useful as an ablation
+    control, and pinned by the property tests to perturb nothing.
+    """
+
+    #: sampling tick of the control loop (virtual seconds)
+    tick_interval_s: float = 1.0
+
+    # -- reactive warm-pool scaling
+    pool_scaling: bool = True
+    #: ceiling on warm instances (idle + still spinning up) fleet-wide
+    pool_max: int = 64
+    #: most instances provisioned or retired per tick (bounded step)
+    pool_step: int = 2
+    #: delay before a provisioned instance is actually idle-warm
+    pool_spinup_s: float = 2.0
+
+    # -- per-tenant admission limits
+    admission_control: bool = True
+    limit_min: int = 1
+    limit_max: int = 8
+    limit_step: int = 1
+    #: queued rounds per tenant that count as backlog (scale-up signal)
+    queue_high: int = 2
+    #: queued rounds per tenant at or below which the tenant is idle
+    queue_low: int = 0
+    #: burn rate above which limits are cut (the service is saturated)
+    burn_high: float = 0.5
+    #: burn rate below which scale-downs toward the base limit may run
+    burn_low: float = 0.1
+    #: sliding window feeding the burn rate (SloTracker.window_s)
+    burn_window_s: float = 60.0
+    #: consecutive ticks a signal must persist before the controller acts
+    hysteresis_ticks: int = 2
+
+    # -- chaos-aware placement
+    placement_aware: bool = True
+    #: nodes whose snapshot rate factor sits below this are avoided
+    min_rate_factor: float = 0.5
+    #: re-placement attempts before the round is shed
+    placement_retries: int = 3
+    retry_backoff_s: float = 1.0
+
+    # -- graceful shedding / watchdog
+    #: how long an arrival may wait in the deferral room past the bounded
+    #: queue before it is shed (0 rejects at overflow, as without a
+    #: controller)
+    defer_deadline_s: float = 30.0
+    #: admitted rounds are aborted after this long in flight (0 disables)
+    round_deadline_s: float = 0.0
+
+    def validate(self) -> None:
+        if self.tick_interval_s <= 0:
+            raise ConfigError("tick_interval_s must be positive")
+        if self.pool_max < 0 or self.pool_step < 1:
+            raise ConfigError("pool_max must be >= 0 and pool_step >= 1")
+        if self.pool_spinup_s < 0:
+            raise ConfigError("pool_spinup_s must be >= 0")
+        if self.limit_min < 1:
+            raise ConfigError("limit_min must be >= 1 (a tenant must never starve)")
+        if self.limit_max < self.limit_min:
+            raise ConfigError("limit_max must be >= limit_min")
+        if self.limit_step < 1:
+            raise ConfigError("limit_step must be >= 1")
+        if self.queue_low < 0 or self.queue_high < self.queue_low:
+            raise ConfigError("need 0 <= queue_low <= queue_high")
+        if not 0.0 <= self.burn_low <= self.burn_high <= 1.0:
+            raise ConfigError("need 0 <= burn_low <= burn_high <= 1")
+        if self.burn_window_s <= 0:
+            raise ConfigError("burn_window_s must be positive")
+        if self.hysteresis_ticks < 1:
+            raise ConfigError("hysteresis_ticks must be >= 1")
+        if not 0.0 < self.min_rate_factor <= 1.0:
+            raise ConfigError("min_rate_factor must be in (0, 1]")
+        if self.placement_retries < 0 or self.retry_backoff_s < 0:
+            raise ConfigError("placement retries/backoff must be >= 0")
+        if self.defer_deadline_s < 0 or self.round_deadline_s < 0:
+            raise ConfigError("deadlines must be >= 0")
+
+
+class _Hysteresis:
+    """Per-signal persistence counter: ``push(active)`` returns True only
+    after the signal held for ``need`` consecutive observations, then
+    re-arms (so a sustained signal fires once every ``need`` ticks — the
+    bounded-step pacing)."""
+
+    __slots__ = ("need", "count")
+
+    def __init__(self, need: int) -> None:
+        self.need = need
+        self.count = 0
+
+    def push(self, active: bool) -> bool:
+        if not active:
+            self.count = 0
+            return False
+        self.count += 1
+        if self.count >= self.need:
+            self.count = 0
+            return True
+        return False
+
+
+class Controller:
+    """One replay's reactive control loop.
+
+    The replay constructs the controller with live handles into its
+    serving state — the shared fabric, the engine's warm pool, the SLO
+    tracker, and read/act callbacks — then calls :meth:`start`.  The tick
+    process ends itself once ``is_done`` reports every offered round
+    settled, so the environment drains normally.
+    """
+
+    def __init__(
+        self,
+        config: ControllerConfig,
+        env: "Environment",
+        fabric: "Fabric",
+        warm: "WarmState",
+        tracker: "SloTracker",
+        node_names: list[str],
+        n_tenants: int,
+        base_limit: int,
+        pool_floor: int = 0,
+        queue_depth: Callable[[int], int] | None = None,
+        on_limit_raised: Callable[[int], None] | None = None,
+        sweep_deferred: Callable[[float], None] | None = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.env = env
+        self.fabric = fabric
+        self.warm = warm
+        self.tracker = tracker
+        self.node_names = list(node_names)
+        self.n_tenants = n_tenants
+        #: the quorum floor: the controller never retires the pool below
+        #: this many idle-warm instances fleet-wide
+        self.pool_floor = pool_floor
+        self._queue_depth = queue_depth or (lambda _t: 0)
+        self._on_limit_raised = on_limit_raised
+        self._sweep_deferred = sweep_deferred
+        #: per-tenant admission limits, actuated in place (the replay
+        #: reads these); the configured base is also the scale-down target
+        self.base_limit = max(config.limit_min, min(config.limit_max, base_limit))
+        self.limits = [self.base_limit] * n_tenants
+        self.report = ControllerReport()
+        #: warm instances provisioned but not yet idle (spinning up)
+        self._spinning = 0
+        need = config.hysteresis_ticks
+        self._up = [_Hysteresis(need) for _ in range(n_tenants)]
+        self._down = [_Hysteresis(need) for _ in range(n_tenants)]
+        self._pool_up = _Hysteresis(need)
+        self._pool_down = _Hysteresis(need)
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self, is_done: Callable[[], bool]) -> None:
+        from repro.sim.engine import Process
+
+        Process(self.env, self._run(is_done), "controlplane:tick")
+
+    def _run(self, is_done: Callable[[], bool]):
+        interval = self.config.tick_interval_s
+        while not is_done():
+            yield self.env.timeout(interval)
+            self.tick()
+
+    # ------------------------------------------------------------------ tick
+    def tick(self) -> None:
+        """One control decision: sweep deferrals, read the three signals,
+        actuate limits and the warm pool."""
+        now = self.env.now
+        self.report.ticks += 1
+        if self._sweep_deferred is not None:
+            self._sweep_deferred(now)
+        burn = self.tracker.burn_rate(now)
+        if self.config.admission_control:
+            self._tick_limits(now, burn)
+        if self.config.pool_scaling:
+            self._tick_pool(now, burn)
+
+    def _record(self, at: float, kind: str, target: str, delta: int, reason: str) -> None:
+        self.report.record(ControlAction(at, kind, target, delta, reason))
+
+    # -- admission limits ---------------------------------------------------
+    def _tick_limits(self, now: float, burn: float) -> None:
+        cfg = self.config
+        for t in range(self.n_tenants):
+            depth = self._queue_depth(t)
+            limit = self.limits[t]
+            overload = burn >= cfg.burn_high
+            backlog = depth >= cfg.queue_high and not overload
+            if self._up[t].push(backlog) and limit < cfg.limit_max:
+                step = min(cfg.limit_step, cfg.limit_max - limit)
+                self.limits[t] = limit + step
+                self._record(now, "limit-up", f"tenant{t}", step, f"queue={depth}")
+                if self._on_limit_raised is not None:
+                    self._on_limit_raised(t)
+                continue
+            # Scale down under SLO burn (protect the service) or back
+            # toward the configured base once the tenant goes idle.
+            idle = depth <= cfg.queue_low and burn <= cfg.burn_low and limit > self.base_limit
+            cut = overload and limit > cfg.limit_min
+            if self._down[t].push(cut or idle):
+                floor = cfg.limit_min if cut else self.base_limit
+                step = min(cfg.limit_step, limit - floor)
+                if step > 0:
+                    self.limits[t] = limit - step
+                    reason = f"burn={burn:.2f}" if cut else f"queue={depth}"
+                    self._record(now, "limit-down", f"tenant{t}", -step, reason)
+
+    # -- warm pool ----------------------------------------------------------
+    def pool_demand(self) -> int:
+        """Warm instances the backlog will want: queued rounds times the
+        per-round instance estimate (set by the replay via
+        ``instances_per_round``)."""
+        queued = sum(self._queue_depth(t) for t in range(self.n_tenants))
+        return queued * max(1, self.instances_per_round)
+
+    #: instances one admitted round materializes (leaves + internal nodes);
+    #: the replay sets this from the platform config before starting
+    instances_per_round: int = 1
+
+    def _tick_pool(self, now: float, burn: float) -> None:
+        cfg = self.config
+        total = self.warm.total() + self._spinning
+        demand = self.pool_demand()
+        grow = demand > total and total < cfg.pool_max
+        if self._pool_up.push(grow):
+            step = min(cfg.pool_step, cfg.pool_max - total, demand - total)
+            if step > 0:
+                self._provision(now, step)
+                self._record(now, "pool-up", "pool", step, f"demand={demand}")
+            return
+        shrink = (
+            demand == 0
+            and burn <= cfg.burn_low
+            and self._spinning == 0
+            and self.warm.total() > self.pool_floor
+        )
+        if self._pool_down.push(shrink):
+            step = min(cfg.pool_step, self.warm.total() - self.pool_floor)
+            retired = self._retire(step)
+            if retired > 0:
+                self._record(now, "pool-down", "pool", -retired, "idle")
+
+    def _provision(self, now: float, count: int) -> None:
+        """Spin up ``count`` warm instances on the nodes demand has been
+        observed on (the warm pool's known nodes, least-stocked first);
+        they join the pool after ``pool_spinup_s``."""
+        targets = sorted(self.warm.idle) or [self.node_names[0]]
+        picks: list[str] = []
+        for i in range(count):
+            picks.append(min(targets, key=lambda n: (self.warm.idle.get(n, 0) + picks.count(n), n)))
+        self._spinning += count
+        spinup = self.config.pool_spinup_s
+        if spinup <= 0:
+            for node in picks:
+                self.warm.put(node)
+            self._spinning -= count
+            return
+
+        def ready(_evt, nodes=tuple(picks)) -> None:
+            for node in nodes:
+                self.warm.put(node)
+            self._spinning -= len(nodes)
+
+        self.env.timeout(spinup).callbacks.append(ready)
+
+    def _retire(self, count: int) -> int:
+        """Take up to ``count`` idle instances out of the pool, most-stocked
+        nodes first, never dipping below the quorum floor."""
+        retired = 0
+        while retired < count and self.warm.total() > self.pool_floor:
+            node = max(self.warm.idle, key=lambda n: (self.warm.idle[n], n), default=None)
+            if node is None or not self.warm.take(node):
+                break
+            retired += 1
+        return retired
+
+    # -- chaos-aware placement ----------------------------------------------
+    def healthy_nodes(self) -> list[str]:
+        """Nodes whose *fresh* health snapshot clears the placement bar
+        (not partitioned, rate factor at or above ``min_rate_factor``), in
+        fleet order.  May be empty — the caller decides the fallback."""
+        bar = self.config.min_rate_factor
+        health = self.fabric.node_health()
+        return [
+            name
+            for name in self.node_names
+            if not health[name].partitioned and health[name].rate_factor >= bar
+        ]
+
+    def plan_unhealthy(self, plan: "HierarchyPlan") -> list[str]:
+        """Plan nodes failing a fresh health snapshot — the between-plan-
+        and-install re-check.  Non-empty means the plan must not install."""
+        bar = self.config.min_rate_factor
+        health = self.fabric.node_health()
+        used = {spec.node for spec in plan.aggregators.values()}
+        return sorted(
+            n
+            for n in used
+            if health[n].partitioned or health[n].rate_factor < bar
+        )
+
+
+def pool_floor_for(quorum_fraction: float, round_updates: int, updates_per_leaf: int) -> int:
+    """The quorum floor: warm instances needed to serve a quorum-sized
+    round — the leaves covering ``ceil(quorum_fraction × round_updates)``
+    updates plus the top aggregator.  The controller never scales the pool
+    below this, so a freshly arrived round can always warm-start its
+    quorum-critical tree."""
+    if not 0.0 < quorum_fraction <= 1.0:
+        raise ConfigError("quorum_fraction must be in (0, 1]")
+    quorum_updates = math.ceil(quorum_fraction * round_updates)
+    return math.ceil(quorum_updates / max(1, updates_per_leaf)) + 1

@@ -215,15 +215,36 @@ class AggregationPlatform:
         self._round = 0
 
     # -- one full round: place, plan, simulate --------------------------------
+    def _candidate_nodes(self, nodes: list[str] | None) -> list[str]:
+        """Validate an optional placement restriction: a non-empty subset
+        of the fleet, returned in fleet order (so a caller-supplied order
+        never perturbs deterministic placement)."""
+        if nodes is None:
+            return self.node_names
+        allowed = set(nodes)
+        unknown = allowed - set(self.node_names)
+        if unknown:
+            raise ConfigError(f"placement restricted to unknown nodes {sorted(unknown)}")
+        names = [n for n in self.node_names if n in allowed]
+        if not names:
+            raise ConfigError("placement restriction excludes every node")
+        return names
+
     def place_updates(
         self,
         arrivals: list[tuple[float, float]],
         nbytes: float,
+        nodes: list[str] | None = None,
     ) -> list[SimUpdate]:
-        """Turn (arrival_time, weight) pairs into node-assigned updates."""
+        """Turn (arrival_time, weight) pairs into node-assigned updates.
+
+        ``nodes`` restricts placement to a subset of the fleet — the
+        chaos-aware control plane passes the currently-healthy nodes so
+        new rounds route around degraded or partitioned ones.
+        """
         capacities = [
             NodeCapacity(name, self.node_spec.max_service_capacity)
-            for name in self.node_names
+            for name in self._candidate_nodes(nodes)
         ]
         if self.config.static_leaf_nodes > 0:
             capacities = capacities[: self.config.static_leaf_nodes]
@@ -242,7 +263,9 @@ class AggregationPlatform:
             )
         return updates
 
-    def plan_round(self, updates: list[SimUpdate]) -> HierarchyPlan:
+    def plan_round(
+        self, updates: list[SimUpdate], nodes: list[str] | None = None
+    ) -> HierarchyPlan:
         """Build this round's tree from the placement outcome.
 
         Locality-aware platforms put each node's leaves where that node's
@@ -257,11 +280,12 @@ class AggregationPlatform:
         if self.config.static_leaf_nodes > 0:
             return self._static_plan(pending)
         if not self.config.locality_aware:
+            names = self._candidate_nodes(nodes)
             total = len(updates)
-            k = len(self.node_names)
+            k = len(names)
             pending = {
                 name: total // k + (1 if i < total % k else 0)
-                for i, name in enumerate(self.node_names)
+                for i, name in enumerate(names)
             }
             pending = {n: q for n, q in pending.items() if q > 0}
         plan = plan_hierarchy(
@@ -294,7 +318,10 @@ class AggregationPlatform:
         return plan
 
     def prepare_round(
-        self, arrivals: list[tuple[float, float]], nbytes: float
+        self,
+        arrivals: list[tuple[float, float]],
+        nbytes: float,
+        nodes: list[str] | None = None,
     ) -> tuple[list[SimUpdate], HierarchyPlan]:
         """Place and plan one round without simulating it.
 
@@ -302,10 +329,11 @@ class AggregationPlatform:
         serving loops (:mod:`repro.traces.replay`) call it per admitted
         round and hand the result to the engine's ``install_round``.  The
         internal round counter advances so each prepared round gets
-        distinct aggregator ids.
+        distinct aggregator ids.  ``nodes`` restricts placement to a fleet
+        subset (chaos-aware placement); omitted, behaviour is unchanged.
         """
-        updates = self.place_updates(arrivals, nbytes)
-        plan = self.plan_round(updates)
+        updates = self.place_updates(arrivals, nbytes, nodes=nodes)
+        plan = self.plan_round(updates, nodes=nodes)
         self._round += 1
         return updates, plan
 

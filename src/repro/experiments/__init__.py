@@ -47,11 +47,13 @@ from repro.experiments import (  # noqa: F401  (import order = catalogue order)
     stress500,
     stress100k,
     trace_scenarios,
+    controlplane_scenarios,
 )
 
 __all__ = [
     "capacity",
     "chaos_sweep",
+    "controlplane_scenarios",
     "fig04_hierarchy_dataplane",
     "fig07_dataplane",
     "fig08_orchestration",

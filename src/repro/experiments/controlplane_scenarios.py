@@ -1,0 +1,298 @@
+"""Closed-loop control-plane scenarios (non-paper): the reactive
+controller against its open-loop ablations.
+
+Both scenarios replay traces through
+:class:`~repro.traces.replay.TraceReplayEngine` with a
+:class:`~repro.controlplane.reactive.Controller` ticking in virtual time,
+and score the control loop against a controller-less (or
+feature-disabled) cell serving the *identical* workload:
+
+* ``autoscale-flashcrowd`` — two tenants drive Markov-modulated flash
+  crowds (calm ↔ burst) at a deliberately tight fixed admission
+  configuration.  The *fixed* cell serves open loop: the bounded queue
+  overflows during bursts and overflow arrivals are rejected outright.
+  The *reactive* cell runs the controller: backlogged tenants' admission
+  limits scale up (hysteretic, bounded steps), the warm pool provisions
+  ahead of the backlog, and overflow arrivals are deferred with a
+  deadline instead of dropped.  Expected shape: reactive converts the
+  fixed cell's rejections into served (some deferred) rounds and beats
+  it on SLO attainment.
+* ``placement-chaos`` — a steady trace on an 8-node fleet split into two
+  racks, with a replay-scoped :class:`~repro.chaos.FaultPlan` that
+  partitions rack 0 mid-replay (and a NIC brown-out on one rack-1 node
+  for the degraded-but-reachable case).  Node capacity is cut so every
+  round *must* spread across nodes — placement actually routes bytes
+  through the fabric.  The *blind* cell places chaos-unaware and its
+  rounds stall on the partitioned rack until the controller's watchdog
+  aborts them; the *reactive* cell consults
+  :meth:`Fabric.node_health() <repro.cluster.network.Fabric.node_health>`
+  snapshots, avoids the partitioned rack (re-checking between plan and
+  install, retrying with backoff), and keeps completing rounds through
+  the partition window.
+
+Determinism matches the trace scenarios: one workload seed per campaign
+derived from the campaign seed, shared across the mode axis so both cells
+serve the same arrivals; the controller itself takes no random draws, so
+sequential and ``--jobs N`` campaigns (and forked vs inline shards) are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.plan import FaultPlan, NicDegrade, PartitionWindow
+from repro.cluster.node import NodeSpec
+from repro.common.rng import make_rng
+from repro.common.units import RESNET18_BYTES
+from repro.controlplane.reactive import ControllerConfig
+from repro.core.platform import AggregationPlatform, PlatformConfig
+from repro.experiments.common import render_table
+from repro.scenarios.registry import ScenarioRun, scenario
+from repro.traces.models import merge_traces, mmpp_trace, poisson_trace
+from repro.traces.replay import ReplayConfig, TraceReplayEngine
+
+N_NODES = 8
+
+
+def _seed(run_spec: ScenarioRun, stream: str) -> int:
+    """One workload seed per campaign, shared across the mode axis."""
+    return int(
+        make_rng(run_spec.campaign_seed, f"ctl:{stream}").integers(0, 2**31 - 1)
+    )
+
+
+def _ctl_columns(rows: list[dict]) -> str:
+    return render_table(
+        ["cell", "rounds", "ok", "abort", "rej", "shed", "defer", "p95 (s)", "attained"],
+        [
+            (
+                r["cell"],
+                r["rounds"],
+                r["completed"],
+                r["aborted"],
+                r["rejected"],
+                r.get("shed", 0),
+                r.get("deferred", 0),
+                f"{r['latency_p95_s']:.2f}",
+                f"{r['slo_attainment']:.1%}",
+            )
+            for r in rows
+        ],
+    )
+
+
+# ------------------------------------------------------ autoscale-flashcrowd
+FLASH_TENANTS = 2
+FLASH_HORIZON_S = 480.0
+FLASH_SLO_S = 25.0
+FLASH_CALM_PER_MIN = 2.0
+FLASH_BURST_PER_MIN = 40.0
+FLASH_SHARD_AXIS = (1, 2)
+
+#: the reactive cell's control loop: admission limits may quadruple under
+#: backlog, the warm pool provisions ahead of the queue, and overflow
+#: arrivals get a 15s deferral deadline instead of a rejection
+FLASH_CONTROLLER = ControllerConfig(
+    limit_max=4,
+    queue_high=2,
+    burn_high=0.6,
+    burn_low=0.15,
+    burn_window_s=45.0,
+    hysteresis_ticks=2,
+    defer_deadline_s=15.0,
+    pool_max=48,
+    pool_step=4,
+)
+
+
+def _flash_platform() -> AggregationPlatform:
+    nodes = [f"node{i}" for i in range(N_NODES)]
+    return AggregationPlatform(PlatformConfig.lifl(), node_names=nodes)
+
+
+def run_flashcrowd_cell(mode: str, seed: int, shards: int = 1) -> dict:
+    trace = merge_traces(
+        *(
+            mmpp_trace(
+                FLASH_CALM_PER_MIN,
+                FLASH_BURST_PER_MIN,
+                FLASH_HORIZON_S,
+                mean_calm=120.0,
+                mean_burst=35.0,
+                seed=seed + t,
+                tenant=t,
+            )
+            for t in range(FLASH_TENANTS)
+        )
+    )
+    replay = TraceReplayEngine(
+        None,
+        trace,
+        ReplayConfig(
+            round_updates=8,
+            nbytes=RESNET18_BYTES,
+            max_inflight=1,
+            queue_limit=3,
+            slo_target_s=FLASH_SLO_S,
+        ),
+        seed=seed,
+        platform_factory=_flash_platform,
+        controller=FLASH_CONTROLLER if mode == "reactive" else None,
+    )
+    row = replay.run(shards=shards).row()
+    row.update(mode=mode, shards=shards, cell=f"{mode}/s{shards}")
+    return row
+
+
+def _render_flashcrowd(rows: list[dict]) -> str:
+    lines = [
+        f"Flash-crowd autoscaling — {FLASH_TENANTS} tenants × MMPP bursts "
+        f"({FLASH_CALM_PER_MIN:.0f}↔{FLASH_BURST_PER_MIN:.0f} rounds/min) over "
+        f"{FLASH_HORIZON_S:.0f}s, SLO {FLASH_SLO_S:.0f}s; fixed admission vs "
+        "the reactive control loop"
+    ]
+    lines.append(_ctl_columns(rows))
+    by = {(r["mode"], r["shards"]): r for r in rows}
+    fixed, reactive = by.get(("fixed", 1)), by.get(("reactive", 1))
+    if fixed and reactive:  # absent under a single-mode --filter
+        lines.append(
+            f"\nSLO attainment: fixed {fixed['slo_attainment']:.1%} "
+            f"({fixed['rejected']} rejected) vs reactive "
+            f"{reactive['slo_attainment']:.1%} "
+            f"({reactive.get('deferred', 0)} deferred, "
+            f"{reactive.get('shed', 0)} shed)"
+        )
+    return "\n".join(lines)
+
+
+@scenario(
+    name="autoscale-flashcrowd",
+    title="Reactive autoscaling under MMPP flash crowds (non-paper)",
+    grid={"mode": ("fixed", "reactive"), "shards": FLASH_SHARD_AXIS},
+    render=_render_flashcrowd,
+    workload=(
+        f"{N_NODES} nodes, {FLASH_TENANTS} tenants, MMPP flash crowds over "
+        f"{FLASH_HORIZON_S:.0f}s, 8-update rounds"
+    ),
+    metrics=("slo_attainment", "latency_p95_s", "rejected"),
+    paper=False,
+)
+def autoscale_flashcrowd_scenario(run_spec: ScenarioRun) -> list[dict]:
+    """One (mode, shards) serving cell; the trace is shared across modes."""
+    return [
+        run_flashcrowd_cell(
+            run_spec.params["mode"],
+            _seed(run_spec, "flashcrowd"),
+            shards=run_spec.params["shards"],
+        )
+    ]
+
+
+# ----------------------------------------------------------- placement-chaos
+CHAOS_HORIZON_S = 300.0
+CHAOS_SLO_S = 20.0
+CHAOS_RATE_PER_MIN = 10.0
+CHAOS_RACK0 = tuple(f"node{i}" for i in range(4))
+CHAOS_PARTITION = (60.0, 180.0)
+#: per-node service slots cut so an 8-update round must spread across ≥4
+#: nodes — placement decides which rack's fabric links the round crosses
+CHAOS_NODE_CAPACITY = 2
+
+
+def _chaos_controller(placement: str) -> ControllerConfig:
+    """Both cells run the watchdog (else a partitioned round just stalls
+    to the heal); only the reactive cell places health-aware.  Pool and
+    admission scaling stay off to isolate the placement effect."""
+    return ControllerConfig(
+        pool_scaling=False,
+        admission_control=False,
+        placement_aware=(placement == "reactive"),
+        min_rate_factor=0.5,
+        placement_retries=3,
+        retry_backoff_s=1.0,
+        round_deadline_s=15.0,
+        defer_deadline_s=0.0,
+    )
+
+
+def _chaos_platform() -> AggregationPlatform:
+    nodes = [f"node{i}" for i in range(N_NODES)]
+    return AggregationPlatform(
+        PlatformConfig.lifl(),
+        node_names=nodes,
+        node_spec=NodeSpec(name="template", max_service_capacity=CHAOS_NODE_CAPACITY),
+    )
+
+
+def _chaos_fault_plan(seed: int) -> FaultPlan:
+    start, end = CHAOS_PARTITION
+    return FaultPlan(
+        seed=seed,
+        partitions=(PartitionWindow(nodes=CHAOS_RACK0, start=start, end=end),),
+        nic_degradations=(
+            NicDegrade(node="node4", start=start, end=end, factor=0.3),
+        ),
+    )
+
+
+def run_placement_chaos_cell(placement: str, seed: int) -> dict:
+    trace = poisson_trace(CHAOS_RATE_PER_MIN, CHAOS_HORIZON_S, seed=seed)
+    replay = TraceReplayEngine(
+        None,
+        trace,
+        ReplayConfig(
+            round_updates=8,
+            nbytes=RESNET18_BYTES,
+            max_inflight=2,
+            queue_limit=4,
+            slo_target_s=CHAOS_SLO_S,
+        ),
+        seed=seed,
+        platform_factory=_chaos_platform,
+        controller=_chaos_controller(placement),
+        fault_plan=_chaos_fault_plan(seed),
+    )
+    row = replay.run().row()
+    row.update(placement=placement, cell=placement)
+    return row
+
+
+def _render_placement_chaos(rows: list[dict]) -> str:
+    start, end = CHAOS_PARTITION
+    lines = [
+        f"Chaos-aware placement — rack 0 ({', '.join(CHAOS_RACK0)}) partitioned "
+        f"[{start:.0f}s, {end:.0f}s), node4 NIC at 0.3×; {CHAOS_RATE_PER_MIN:.0f} "
+        f"rounds/min over {CHAOS_HORIZON_S:.0f}s, 15s round watchdog"
+    ]
+    lines.append(_ctl_columns(rows))
+    by = {r["placement"]: r for r in rows}
+    blind, reactive = by.get("blind"), by.get("reactive")
+    if blind and reactive:  # absent under a single-placement --filter
+        lines.append(
+            f"\nwatchdog aborts: blind {blind['aborted']} vs reactive "
+            f"{reactive['aborted']} (replans: {reactive.get('ctl_replan', 0)}); "
+            f"attainment {blind['slo_attainment']:.1%} vs "
+            f"{reactive['slo_attainment']:.1%}"
+        )
+    return "\n".join(lines)
+
+
+@scenario(
+    name="placement-chaos",
+    title="Chaos-aware vs chaos-blind placement under a rack partition (non-paper)",
+    grid={"placement": ("reactive", "blind")},
+    render=_render_placement_chaos,
+    workload=(
+        f"{N_NODES} nodes in 2 racks, rack-scale partition "
+        f"[{CHAOS_PARTITION[0]:.0f}s, {CHAOS_PARTITION[1]:.0f}s), "
+        f"{CHAOS_HORIZON_S:.0f}s Poisson trace"
+    ),
+    metrics=("slo_attainment", "aborted", "completed"),
+    paper=False,
+)
+def placement_chaos_scenario(run_spec: ScenarioRun) -> list[dict]:
+    """One placement-mode cell; trace and fault plan shared across modes."""
+    return [
+        run_placement_chaos_cell(
+            run_spec.params["placement"], _seed(run_spec, "placement")
+        )
+    ]

@@ -25,7 +25,21 @@ simulation clock and admits rounds as their arrival events fire —
   during availability dips get a seeded
   :class:`~repro.chaos.FaultInjector` dropout wave whose magnitude scales
   with the dip — the multi-round recovery loop the chaos subsystem could
-  previously only exercise one round at a time.
+  previously only exercise one round at a time;
+* **closed-loop control** — with a
+  :class:`~repro.controlplane.reactive.ControllerConfig`, a
+  :class:`~repro.controlplane.reactive.Controller` tick process runs
+  alongside the dispatcher: per-tenant admission limits and the warm pool
+  scale reactively, placement avoids nodes a fresh
+  :meth:`Fabric.node_health() <repro.cluster.network.Fabric.node_health>`
+  snapshot reports degraded or partitioned (with bounded re-placement
+  retries), overflow arrivals are *deferred* with a deadline instead of
+  rejected, and an optional per-round watchdog aborts stalled rounds.
+  With ``controller=None`` (the default) none of this machinery is
+  constructed and the replay is byte-identical to a controller-less build.
+  ``fault_plan`` installs a replay-scoped fabric chaos timeline
+  (partitions / NIC degradations / slow nodes) for the controller to
+  react to.
 
 Determinism: every random draw (participants, arrival offsets, chaos
 victims) derives from ``(seed, tenant, round_id)`` — never from admission
@@ -53,6 +67,8 @@ from repro.traces.slo import SloTracker
 if TYPE_CHECKING:  # import-light: replay only needs these for typing
     from typing import Callable
 
+    from repro.chaos.plan import FaultPlan
+    from repro.controlplane.reactive import ControllerConfig, ControllerReport
     from repro.core.platform import AggregationPlatform
     from repro.fl.client import FLClient
     from repro.fl.population import ClientPopulation
@@ -142,6 +158,10 @@ class RoundRecord:
     complete_at: float = -1.0
     aborted: bool = False
     rejected: bool = False
+    #: waited in the controller's deferral room past the bounded queue
+    deferred: bool = False
+    #: dropped by the control plane (deferral deadline or placement retries)
+    shed: bool = False
     chaos_fraction: float = 0.0
     #: participant (offset, weight) pairs sampled at arrival time
     participants: list[tuple[float, float]] = field(default_factory=list)
@@ -170,6 +190,9 @@ class ReplayResult:
     peak_inflight_per_tenant: dict[int, int] = field(default_factory=dict)
     chaos_waves: int = 0
     clients_dropped: int = 0
+    #: the control loop's report when the replay ran one (None otherwise,
+    #: which keeps controller-less rows byte-identical)
+    controller: "ControllerReport | None" = None
 
     @property
     def rounds_overlapped(self) -> bool:
@@ -184,6 +207,8 @@ class ReplayResult:
             chaos_waves=self.chaos_waves,
             clients_dropped=self.clients_dropped,
         )
+        if self.controller is not None:
+            out.update(self.controller.row())
         return out
 
 
@@ -210,6 +235,8 @@ class TraceReplayEngine:
         seed: int = 0,
         platform_factory: "Callable[[], AggregationPlatform] | None" = None,
         population: "ClientPopulation | None" = None,
+        controller: "ControllerConfig | None" = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         if platform is None and platform_factory is None:
             raise ConfigError("replay needs a platform or a platform_factory")
@@ -260,6 +287,19 @@ class TraceReplayEngine:
             chaos.validate()
             if availability is None:
                 raise ConfigError("chaos correlation needs an availability trace")
+        self.controller_config = controller
+        if controller is not None:
+            controller.validate()
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            fault_plan.validate()
+            if fault_plan.crashes or fault_plan.dropouts:
+                raise ConfigError(
+                    "a replay fault_plan must be fabric-only (partitions, "
+                    "NIC degradations, slow nodes) — crash/dropout events "
+                    "target a single round's aggregators and belong to "
+                    "ChaosCorrelation or FaultInjector.install()"
+                )
         self.seed = seed
 
     # ----------------------------------------------------------- participants
@@ -355,38 +395,145 @@ class TraceReplayEngine:
                 shards=shards,
                 workers=workers,
                 population=self.population,
+                controller=self.controller_config,
+                fault_plan=self.fault_plan,
             ).run(inline=inline)
         if self.platform is None:
             self.platform = self.platform_factory()
         cfg = self.config
+        ctl_cfg = self.controller_config
         engine = self.platform.engine
         env = Environment()
         fabric = engine.build_fabric(env)
-        tracker = SloTracker(cfg.slo_target_s)
+        if self.fault_plan is not None:
+            from repro.chaos import FaultInjector
+
+            FaultInjector(self.fault_plan).install_fabric(env, fabric)
+        if ctl_cfg is None:
+            tracker = SloTracker(cfg.slo_target_s)
+        else:
+            tracker = SloTracker(
+                cfg.slo_target_s, window_s=ctl_cfg.burn_window_s, controller=True
+            )
         records: list[RoundRecord] = []
         n_tenants = max(self.trace.tenants, 1)
         inflight = [0] * n_tenants
         pending: list[deque[RoundRecord]] = [deque() for _ in range(n_tenants)]
+        #: overflow arrivals parked with a shed deadline (controller only)
+        deferred: list[deque[tuple[RoundRecord, float]]] = [
+            deque() for _ in range(n_tenants)
+        ]
         result = ReplayResult(
             records=records,
             slo=tracker,
             horizon=self.trace.horizon,
             peak_inflight_per_tenant={t: 0 for t in range(n_tenants)},
         )
+        #: terminal outcomes seen (reject/shed/abort/complete); the
+        #: controller's tick loop ends when every trace event has one
+        done = [0]
+
+        def _shed(rec: RoundRecord, reason: str) -> None:
+            rec.shed = True
+            tracker.shed(at=env.now)
+            controller._record(
+                env.now, "shed", f"t{rec.tenant}r{rec.round_id}", 0, reason
+            )
+            done[0] += 1
+
+        def _promote(t: int) -> None:
+            """Move deferred arrivals into the bounded queue as room opens,
+            shedding any whose deadline already passed."""
+            room = deferred[t]
+            while room and len(pending[t]) < cfg.queue_limit:
+                rec, deadline = room.popleft()
+                if deadline <= env.now:
+                    _shed(rec, "deferral deadline")
+                    continue
+                pending[t].append(rec)
+
+        def _sweep(now: float) -> None:
+            """Controller tick hook: expire deferred arrivals in place."""
+            for t in range(n_tenants):
+                room = deferred[t]
+                while room and room[0][1] <= now:
+                    rec, _ = room.popleft()
+                    _shed(rec, "deferral deadline")
+
+        def _drain(t: int) -> None:
+            """Admit queued rounds while the tenant has free slots."""
+            while inflight[t] < limits[t]:
+                if controller is not None:
+                    _promote(t)
+                queue = pending[t]
+                if not queue:
+                    break
+                admit(queue.popleft())
 
         def admit(rec: RoundRecord) -> None:
-            rec.admit_at = env.now
             inflight[rec.tenant] += 1
             total = sum(inflight)
             if total > result.peak_inflight:
                 result.peak_inflight = total
             if inflight[rec.tenant] > result.peak_inflight_per_tenant[rec.tenant]:
                 result.peak_inflight_per_tenant[rec.tenant] = inflight[rec.tenant]
-            updates, plan = self.platform.prepare_round(rec.participants, cfg.nbytes)
+            if controller is not None and ctl_cfg.placement_aware:
+                Process(env, _place(rec), f"place:t{rec.tenant}r{rec.round_id}")
+            else:
+                updates, plan = self.platform.prepare_round(rec.participants, cfg.nbytes)
+                _install(rec, updates, plan)
+
+        def _place(rec: RoundRecord):
+            """Chaos-aware placement: restrict placement to nodes passing
+            the controller's health bar, re-check the chosen plan against a
+            fresh snapshot before install, and retry with backoff when a
+            node degraded in between.  Exhausted retries shed the round."""
+            attempts = 0
+            while True:
+                healthy = controller.healthy_nodes()
+                updates, plan = self.platform.prepare_round(
+                    rec.participants, cfg.nbytes, nodes=healthy or None
+                )
+                bad = controller.plan_unhealthy(plan)
+                if not bad:
+                    _install(rec, updates, plan)
+                    return
+                attempts += 1
+                controller._record(
+                    env.now, "replan", ",".join(bad), 0, f"attempt={attempts}"
+                )
+                if attempts > ctl_cfg.placement_retries:
+                    inflight[rec.tenant] -= 1
+                    _shed(rec, "placement retries exhausted")
+                    _drain(rec.tenant)
+                    return
+                if ctl_cfg.retry_backoff_s > 0:
+                    yield env.timeout(ctl_cfg.retry_backoff_s)
+
+        def _install(rec: RoundRecord, updates, plan) -> None:
+            rec.admit_at = env.now
             tenant_round = engine.install_round(
                 env, fabric, updates, plan, label=f"t{rec.tenant}r{rec.round_id}"
             )
             self._maybe_inject(env, fabric, engine, rec, tenant_round, result)
+            if controller is not None and ctl_cfg.round_deadline_s > 0:
+                deadline_s = ctl_cfg.round_deadline_s
+
+                def watchdog(_evt) -> None:
+                    if tenant_round.top_done.triggered:
+                        return
+                    controller._record(
+                        env.now,
+                        "deadline-abort",
+                        tenant_round.label,
+                        0,
+                        f"deadline={deadline_s}s",
+                    )
+                    tenant_round.top_done.fail(
+                        DeadlineExceeded(tenant_round.label, deadline_s)
+                    )
+
+                env.timeout(deadline_s).callbacks.append(watchdog)
 
             def settled(evt) -> None:
                 if not evt._ok:
@@ -398,13 +545,14 @@ class TraceReplayEngine:
                 )
                 result.clients_dropped += res.clients_dropped
                 if rec.aborted:
-                    tracker.abort()
+                    tracker.abort(at=env.now)
                 else:
-                    tracker.observe(rec.queue_wait, rec.service)
+                    tracker.observe(
+                        rec.queue_wait, rec.service, deferred=rec.deferred, at=env.now
+                    )
+                done[0] += 1
                 inflight[rec.tenant] -= 1
-                queue = pending[rec.tenant]
-                if queue and inflight[rec.tenant] < cfg.max_inflight:
-                    admit(queue.popleft())
+                _drain(rec.tenant)
 
             tenant_round.top_done.callbacks.append(settled)
 
@@ -422,20 +570,77 @@ class TraceReplayEngine:
                     participants=participants,
                 )
                 records.append(rec)
+                if controller is not None:
+                    _promote(ev.tenant)
                 if not participants:
                     # Nobody available: the service cannot form the round.
                     rec.rejected = True
-                    tracker.reject()
-                elif inflight[ev.tenant] < cfg.max_inflight:
+                    tracker.reject(at=env.now)
+                    done[0] += 1
+                elif inflight[ev.tenant] < limits[ev.tenant]:
                     admit(rec)
                 elif len(pending[ev.tenant]) < cfg.queue_limit:
                     pending[ev.tenant].append(rec)
+                elif controller is not None and ctl_cfg.defer_deadline_s > 0:
+                    rec.deferred = True
+                    deferred[ev.tenant].append(
+                        (rec, env.now + ctl_cfg.defer_deadline_s)
+                    )
+                    controller._record(
+                        env.now,
+                        "defer",
+                        f"t{ev.tenant}r{ev.round_id}",
+                        0,
+                        "queue full",
+                    )
                 else:
                     rec.rejected = True
-                    tracker.reject()
+                    tracker.reject(at=env.now)
+                    done[0] += 1
+
+        controller = None
+        if ctl_cfg is not None:
+            from repro.controlplane.reactive import (
+                Controller,
+                DeadlineExceeded,
+                pool_floor_for,
+            )
+
+            if self.fault_plan is not None:
+                quorum_fraction = self.fault_plan.quorum_fraction
+            elif self.chaos is not None:
+                quorum_fraction = self.chaos.quorum_fraction
+            else:
+                quorum_fraction = 0.5
+            pcfg = self.platform.config
+            leaves = -(-cfg.round_updates // pcfg.updates_per_leaf)
+            controller = Controller(
+                ctl_cfg,
+                env,
+                fabric,
+                engine.lifecycle.warm,
+                tracker,
+                node_names=engine.node_names,
+                n_tenants=n_tenants,
+                base_limit=cfg.max_inflight,
+                pool_floor=pool_floor_for(
+                    quorum_fraction, cfg.round_updates, pcfg.updates_per_leaf
+                ),
+                queue_depth=lambda t: len(pending[t]) + len(deferred[t]),
+                on_limit_raised=_drain,
+                sweep_deferred=_sweep,
+            )
+            controller.instances_per_round = leaves + 1
+            limits = controller.limits
+            result.controller = controller.report
+        else:
+            limits = [cfg.max_inflight] * n_tenants
 
         if self.trace.events:
             Process(env, dispatch(), "trace:dispatch")
+            if controller is not None:
+                expected = len(self.trace.events)
+                controller.start(lambda: done[0] >= expected)
             env.run()
         return result
 

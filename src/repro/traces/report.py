@@ -63,6 +63,10 @@ def render_slo_report(docs: list[dict], slo_target: float | None = None) -> str:
         if not pairs:
             continue
         lines.append(f"{doc.get('scenario', '?')} — {doc.get('title', '')}")
+        # Controller-enabled campaigns carry the shed/deferred split; the
+        # extra columns appear only when some row has them, so reports for
+        # controller-less campaigns keep their original shape.
+        controlled = any("shed" in row or "deferred" in row for _, row in pairs)
         rows = []
         for params, row in pairs:
             cell = ",".join(f"{k}={v}" for k, v in params.items()) or "-"
@@ -73,10 +77,14 @@ def render_slo_report(docs: list[dict], slo_target: float | None = None) -> str:
                 # shape, not the raw samples: report which percentile band
                 # the new target falls in instead of a fake exact number.
                 attain = _rescore_band(row, slo_target)
+            ctl_cols = (
+                (row.get("shed", 0), row.get("deferred", 0)) if controlled else ()
+            )
             rows.append(
                 (
                     cell,
                     row.get("rounds", 0),
+                    *ctl_cols,
                     f"{row['latency_p50_s']:.2f}",
                     f"{row['latency_p95_s']:.2f}",
                     f"{row['latency_p99_s']:.2f}",
@@ -86,9 +94,10 @@ def render_slo_report(docs: list[dict], slo_target: float | None = None) -> str:
                     attain if isinstance(attain, str) else f"{attain:.1%}",
                 )
             )
+        ctl_headers = ["shed", "defer"] if controlled else []
         lines.append(
             render_table(
-                ["cell", "rounds", "p50 (s)", "p95 (s)", "p99 (s)", "wait p95", "svc p95", "SLO", "attained"],
+                ["cell", "rounds", *ctl_headers, "p50 (s)", "p95 (s)", "p99 (s)", "wait p95", "svc p95", "SLO", "attained"],
                 rows,
             )
         )

@@ -63,6 +63,8 @@ from repro.traces.replay import ReplayConfig, ReplayResult, TraceReplayEngine
 from repro.traces.slo import SloTracker
 
 if TYPE_CHECKING:  # import-light, mirroring replay.py
+    from repro.chaos.plan import FaultPlan
+    from repro.controlplane.reactive import ControllerConfig
     from repro.core.platform import AggregationPlatform
     from repro.fl.client import FLClient
     from repro.fl.population import ClientPopulation
@@ -239,6 +241,8 @@ class ShardedReplayEngine:
         shards: int = 1,
         workers: int | None = None,
         population: "ClientPopulation | None" = None,
+        controller: "ControllerConfig | None" = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         if not callable(platform_factory):
             raise ConfigError("platform_factory must be callable")
@@ -258,6 +262,10 @@ class ShardedReplayEngine:
         self.shards = shards
         self.workers = workers
         self.population = population
+        #: each shard runs its own controller over its own serving cell —
+        #: per-shard ticks stay deterministic and the reports merge
+        self.controller = controller
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------ run
     def run(self, inline: bool = False) -> ShardedReplayResult:
@@ -318,6 +326,8 @@ class ShardedReplayEngine:
                 chaos=self.chaos,
                 seed=self.seed,
                 population=self.population,
+                controller=self.controller,
+                fault_plan=self.fault_plan,
             )
             result = engine.run()
         return ShardReport(
@@ -408,6 +418,12 @@ class ShardedReplayEngine:
             for tenant, peak in res.peak_inflight_per_tenant.items():
                 if peak > peak_per_tenant.get(tenant, -1):
                     peak_per_tenant[tenant] = peak
+            if res.controller is not None:
+                if merged.controller is None:
+                    from repro.controlplane.reactive import ControllerReport
+
+                    merged.controller = ControllerReport()
+                merged.controller.merge(res.controller)
         records.sort(key=lambda r: (r.arrival_at, r.tenant, r.round_id))
         merged.peak_inflight_per_tenant = dict(sorted(peak_per_tenant.items()))
         return merged

@@ -24,6 +24,7 @@ and still publish one authoritative SLO report.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
@@ -142,6 +143,10 @@ class _Outcome:
     attained: int = 0
     aborted: int = 0
     rejected: int = 0
+    #: deferred past the bounded queue and *then served* — a subset of
+    #: ``completed``; their latency digests carry the full queue wait
+    shed: int = 0
+    deferred: int = 0
 
 
 class SloTracker:
@@ -149,44 +154,106 @@ class SloTracker:
 
     ``observe`` records one *finished* round's queue wait and service time
     (latency = wait + service) and scores it against ``slo_target_s``;
-    ``abort``/``reject`` record rounds that never produced a model — they
-    count against attainment, since a round the service dropped is a round
-    the tenant did not get.
+    ``abort``/``reject``/``shed`` record rounds that never produced a
+    model — they count against attainment, since a round the service
+    dropped is a round the tenant did not get.  The three are distinct
+    categories: *rejected* rounds bounced off a full admission queue at
+    arrival, *shed* rounds were first deferred (or displaced by a control
+    action) and dropped later, *aborted* rounds were admitted and failed
+    mid-flight.  ``observe(deferred=True)`` marks a deferred-then-served
+    round — it completes normally (full queue wait included) and is
+    additionally tallied so the deferral machinery's reach is visible.
+
+    ``window_s > 0`` additionally keeps a sliding window of timestamped
+    outcomes so a controller can read the *burn rate* — the fraction of
+    recently offered rounds that missed the SLO (completed late, aborted,
+    rejected, or shed).  The window exists only for live control decisions;
+    it is not part of ``report()`` and does not participate in ``merge``
+    (shards merge after their clocks stop).
+
+    ``controller=True`` marks a tracker owned by a controller-enabled
+    replay: ``report()`` then includes the ``shed``/``deferred`` columns.
+    Controller-less replays keep the exact pre-controller report shape, so
+    recorded scenario rows stay byte-identical.  ``merge`` ORs the flag —
+    one controller-enabled shard makes the merged report carry the split.
     """
 
-    def __init__(self, slo_target_s: float) -> None:
+    def __init__(
+        self, slo_target_s: float, window_s: float = 0.0, controller: bool = False
+    ) -> None:
         if slo_target_s <= 0:
             raise ConfigError("slo_target_s must be positive")
+        if window_s < 0:
+            raise ConfigError("window_s must be >= 0")
         self.slo_target_s = slo_target_s
+        self.window_s = window_s
+        self.controller = controller
         self.latency = LatencyDigest()
         self.queue_wait = LatencyDigest()
         self.service = LatencyDigest()
         self._tally = _Outcome()
+        #: (timestamp, missed) outcomes inside the burn-rate window
+        self._window: deque[tuple[float, bool]] = deque()
 
     # ------------------------------------------------------------ recording
-    def observe(self, queue_wait: float, service: float) -> bool:
+    def _window_add(self, at: float | None, missed: bool) -> None:
+        if self.window_s > 0 and at is not None:
+            self._window.append((at, missed))
+
+    def observe(
+        self,
+        queue_wait: float,
+        service: float,
+        deferred: bool = False,
+        at: float | None = None,
+    ) -> bool:
         """Record one completed round; returns True when it met the SLO."""
         latency = queue_wait + service
         self.latency.add(latency)
         self.queue_wait.add(queue_wait)
         self.service.add(service)
         self._tally.completed += 1
+        if deferred:
+            self._tally.deferred += 1
         ok = latency <= self.slo_target_s
         if ok:
             self._tally.attained += 1
+        self._window_add(at, not ok)
         return ok
 
-    def abort(self) -> None:
+    def abort(self, at: float | None = None) -> None:
         self._tally.aborted += 1
+        self._window_add(at, True)
 
-    def reject(self) -> None:
+    def reject(self, at: float | None = None) -> None:
         self._tally.rejected += 1
+        self._window_add(at, True)
+
+    def shed(self, at: float | None = None) -> None:
+        """One deferred (or displaced) round dropped by the control plane."""
+        self._tally.shed += 1
+        self._window_add(at, True)
+
+    def burn_rate(self, now: float) -> float:
+        """Fraction of rounds offered in ``[now - window_s, now]`` that
+        missed the SLO (0.0 with no window or no recent outcomes)."""
+        if self.window_s <= 0:
+            return 0.0
+        window = self._window
+        cutoff = now - self.window_s
+        while window and window[0][0] < cutoff:
+            window.popleft()
+        if not window:
+            return 0.0
+        return sum(1 for _, missed in window if missed) / len(window)
 
     def merge(self, other: "SloTracker") -> None:
         """Fold another tracker's accounting into this one (shard merge).
 
-        Digest merges are exact (bucket addition); the outcome tally sums.
-        Both trackers must score against the same SLO target — merging
+        Digest merges are exact (bucket addition); the outcome tally sums
+        — including the shed/deferred split, so sharded controller runs
+        report the same categories an unsharded run would.  Both trackers
+        must score against the same SLO target — merging
         differently-scored shards would make ``attainment`` meaningless.
         """
         if other.slo_target_s != self.slo_target_s:
@@ -201,12 +268,15 @@ class SloTracker:
         self._tally.attained += other._tally.attained
         self._tally.aborted += other._tally.aborted
         self._tally.rejected += other._tally.rejected
+        self._tally.shed += other._tally.shed
+        self._tally.deferred += other._tally.deferred
+        self.controller = self.controller or other.controller
 
     # ------------------------------------------------------------ reporting
     @property
     def rounds_total(self) -> int:
         t = self._tally
-        return t.completed + t.aborted + t.rejected
+        return t.completed + t.aborted + t.rejected + t.shed
 
     @property
     def attainment(self) -> float:
@@ -220,11 +290,15 @@ class SloTracker:
         lat = self.latency.percentiles()
         wait = self.queue_wait.percentiles()
         svc = self.service.percentiles()
+        extra = (
+            {"shed": t.shed, "deferred": t.deferred} if self.controller else {}
+        )
         return {
             "rounds": self.rounds_total,
             "completed": t.completed,
             "aborted": t.aborted,
             "rejected": t.rejected,
+            **extra,
             "slo_target_s": self.slo_target_s,
             "slo_attainment": round(self.attainment, 6),
             "latency_p50_s": round(lat["p50"], 6),

@@ -1,0 +1,326 @@
+"""Property and behaviour tests for the reactive control plane.
+
+The controller's safety envelope, hypothesis-swept:
+
+* admission limits stay inside ``[limit_min, limit_max]`` and move at
+  most ``limit_step`` per tick, whatever signal sequence drives them;
+* the warm pool never retires below the quorum floor;
+* ``healthy_nodes()`` never offers a partitioned (or below-bar) node,
+  and a plan restricted to it never places on one;
+* a replay with ``controller=None`` is identical to one running a
+  controller with every feature disabled — the byte-invisibility the
+  golden scenario JSON pins at campaign level.
+
+Plus direct behaviour checks: deferral/shedding accounting, the round
+watchdog, report merging, and the fabric-only fault-plan guard.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.plan import AggregatorCrash, FaultPlan, PartitionWindow
+from repro.cluster.network import Fabric
+from repro.cluster.node import NodeSpec
+from repro.common.errors import ConfigError
+from repro.controlplane.reactive import (
+    ControlAction,
+    Controller,
+    ControllerConfig,
+    ControllerReport,
+    pool_floor_for,
+)
+from repro.core.platform import AggregationPlatform, PlatformConfig
+from repro.core.stages import WarmState
+from repro.sim.engine import Environment
+from repro.traces.models import merge_traces, mmpp_trace, poisson_trace
+from repro.traces.replay import ReplayConfig, TraceReplayEngine
+from repro.traces.slo import SloTracker
+
+NODES = [f"node{i}" for i in range(8)]
+
+
+def _fabric(env: Environment) -> Fabric:
+    fabric = Fabric(env, 10e9)
+    for name in NODES:
+        fabric.register_node(name)
+    return fabric
+
+
+def _controller(config: ControllerConfig, depths: list[int], **kwargs) -> Controller:
+    env = Environment()
+    return Controller(
+        config,
+        env,
+        _fabric(env),
+        kwargs.pop("warm", WarmState()),
+        SloTracker(10.0, window_s=config.burn_window_s, controller=True),
+        node_names=NODES,
+        n_tenants=len(depths),
+        base_limit=kwargs.pop("base_limit", 2),
+        queue_depth=lambda t: depths[t],
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------- admission limits
+@settings(max_examples=60, deadline=None)
+@given(
+    signals=st.lists(
+        st.tuples(
+            st.lists(st.integers(0, 12), min_size=2, max_size=2),
+            st.floats(0.0, 1.0),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_limits_always_bounded_and_step_limited(signals):
+    cfg = ControllerConfig(limit_min=1, limit_max=5, limit_step=1, hysteresis_ticks=1)
+    depths = [0, 0]
+    ctl = _controller(cfg, depths)
+    for tick_depths, burn in signals:
+        depths[:] = tick_depths
+        before = list(ctl.limits)
+        ctl._tick_limits(0.0, burn)
+        for t, limit in enumerate(ctl.limits):
+            assert cfg.limit_min <= limit <= cfg.limit_max
+            assert abs(limit - before[t]) <= cfg.limit_step
+
+
+def test_limits_raise_on_backlog_and_cut_under_burn():
+    cfg = ControllerConfig(limit_min=1, limit_max=6, hysteresis_ticks=2)
+    depths = [5]
+    ctl = _controller(cfg, depths)
+    ctl._tick_limits(0.0, 0.0)
+    assert ctl.limits == [2], "one tick of backlog must not act (hysteresis)"
+    ctl._tick_limits(1.0, 0.0)
+    assert ctl.limits == [3], "sustained backlog raises by one step"
+    depths[0] = 0
+    ctl._tick_limits(2.0, 0.9)
+    ctl._tick_limits(3.0, 0.9)
+    assert ctl.limits == [2], "sustained burn cuts back toward limit_min"
+
+
+# ---------------------------------------------------------------- warm pool
+@settings(max_examples=60, deadline=None)
+@given(
+    demands=st.lists(st.integers(0, 20), min_size=1, max_size=40),
+    floor=st.integers(0, 6),
+)
+def test_pool_never_below_quorum_floor(demands, floor):
+    cfg = ControllerConfig(
+        pool_max=16, pool_step=2, pool_spinup_s=0.0, hysteresis_ticks=1
+    )
+    depths = [0]
+    warm = WarmState()
+    warm.put("node0", floor)  # start exactly at the floor
+    ctl = _controller(cfg, depths, warm=warm, pool_floor=floor)
+    for demand in demands:
+        depths[0] = demand
+        ctl._tick_pool(0.0, 0.0)
+        assert warm.total() >= floor
+        assert warm.total() + ctl._spinning <= max(cfg.pool_max, floor)
+
+
+def test_pool_floor_for_covers_quorum_tree():
+    # quorum of 4 updates at 2 updates/leaf: 2 leaves + the top
+    assert pool_floor_for(0.5, 8, 2) == 3
+    assert pool_floor_for(1.0, 8, 4) == 3
+    with pytest.raises(ConfigError):
+        pool_floor_for(0.0, 8, 2)
+
+
+# ------------------------------------------------------- chaos-aware placement
+@settings(max_examples=60, deadline=None)
+@given(
+    partitioned=st.sets(st.integers(0, 7), max_size=7),
+    degraded=st.dictionaries(st.integers(0, 7), st.floats(0.05, 1.0), max_size=8),
+)
+def test_healthy_nodes_never_partitioned_or_below_bar(partitioned, degraded):
+    cfg = ControllerConfig(min_rate_factor=0.5)
+    ctl = _controller(cfg, [0])
+    fabric = ctl.fabric
+    if partitioned:
+        fabric.partition([NODES[i] for i in partitioned])
+    for i, factor in degraded.items():
+        if i not in partitioned:
+            fabric.set_node_rate_factor(NODES[i], factor)
+    healthy = ctl.healthy_nodes()
+    health = fabric.node_health()
+    for name in healthy:
+        assert not health[name].partitioned
+        assert health[name].rate_factor >= cfg.min_rate_factor
+    # the restricted plan never touches an unhealthy node
+    if healthy:
+        platform = AggregationPlatform(
+            PlatformConfig.lifl(),
+            node_names=NODES,
+            node_spec=NodeSpec(name="template", max_service_capacity=2),
+        )
+        _, plan = platform.prepare_round(
+            [(0.0, 1.0)] * 8, 1e6, nodes=healthy
+        )
+        used = {spec.node for spec in plan.aggregators.values()}
+        assert used <= set(healthy)
+
+
+# --------------------------------------------------- controller-off identity
+def _flash_trace(seed: int):
+    return merge_traces(
+        mmpp_trace(2.0, 30.0, 240.0, mean_calm=90.0, mean_burst=30.0, seed=seed, tenant=0),
+        mmpp_trace(2.0, 30.0, 240.0, mean_calm=90.0, mean_burst=30.0, seed=seed + 1, tenant=1),
+    )
+
+
+def _factory():
+    return AggregationPlatform(PlatformConfig.lifl(), node_names=NODES)
+
+
+def test_controller_off_identical_to_all_features_disabled():
+    """controller=None and a do-nothing controller serve identically —
+    the byte-invisibility contract, checked record by record."""
+    trace = _flash_trace(5)
+    cfg = ReplayConfig(max_inflight=2, queue_limit=3, slo_target_s=15.0)
+    noop = ControllerConfig(
+        pool_scaling=False,
+        admission_control=False,
+        placement_aware=False,
+        defer_deadline_s=0.0,
+        round_deadline_s=0.0,
+    )
+    off = TraceReplayEngine(None, trace, cfg, seed=5, platform_factory=_factory).run()
+    on = TraceReplayEngine(
+        None, trace, cfg, seed=5, platform_factory=_factory, controller=noop
+    ).run()
+    assert off.records == on.records
+    off_row, on_row = off.row(), on.row()
+    assert off_row == {k: v for k, v in on_row.items() if k in off_row}
+    assert on.controller is not None and on.controller.counts["limit-up"] == 0
+
+
+def test_reactive_replay_deterministic_and_sharded():
+    trace = _flash_trace(6)
+    cfg = ReplayConfig(max_inflight=1, queue_limit=2, slo_target_s=15.0)
+    ctl = ControllerConfig(limit_max=4, defer_deadline_s=10.0, hysteresis_ticks=1)
+
+    def run(shards=1):
+        return TraceReplayEngine(
+            None, trace, cfg, seed=6, platform_factory=_factory, controller=ctl
+        ).run(shards=shards, inline=True)
+
+    first, second = run(), run()
+    assert first.row() == second.row()
+    assert first.records == second.records
+    sharded = run(shards=2)
+    assert sharded.row() == run(shards=2).row()
+    assert sharded.merged.controller is not None
+
+
+# ----------------------------------------------------- deferral and watchdog
+def test_deferral_serves_or_sheds_with_full_queue_wait():
+    trace = _flash_trace(7)
+    cfg = ReplayConfig(max_inflight=1, queue_limit=1, slo_target_s=15.0)
+    ctl = ControllerConfig(
+        pool_scaling=False,
+        admission_control=False,
+        placement_aware=False,
+        defer_deadline_s=6.0,
+    )
+    result = TraceReplayEngine(
+        None, trace, cfg, seed=7, platform_factory=_factory, controller=ctl
+    ).run()
+    deferred = [r for r in result.records if r.deferred]
+    assert deferred, "a tight queue under bursts must defer"
+    for rec in deferred:
+        if rec.shed:
+            assert rec.admit_at < 0, "shed rounds were never admitted"
+        else:
+            assert rec.queue_wait > 0, "deferred-then-served keeps its full wait"
+    row = result.row()
+    assert row["deferred"] == sum(1 for r in deferred if not r.shed)
+    assert row["shed"] == sum(1 for r in deferred if r.shed)
+    assert row["rounds"] == len(result.records)
+
+
+def test_watchdog_aborts_rounds_stalled_by_partition():
+    trace = poisson_trace(10.0, 120.0, seed=8)
+    cfg = ReplayConfig(max_inflight=2, queue_limit=4, slo_target_s=20.0)
+    ctl = ControllerConfig(
+        pool_scaling=False,
+        admission_control=False,
+        placement_aware=False,
+        round_deadline_s=10.0,
+        defer_deadline_s=0.0,
+    )
+    plan = FaultPlan(
+        partitions=(PartitionWindow(nodes=tuple(NODES[:4]), start=10.0, end=110.0),)
+    )
+
+    def factory():
+        return AggregationPlatform(
+            PlatformConfig.lifl(),
+            node_names=NODES,
+            node_spec=NodeSpec(name="template", max_service_capacity=2),
+        )
+
+    result = TraceReplayEngine(
+        None, trace, cfg, seed=8, platform_factory=factory,
+        controller=ctl, fault_plan=plan,
+    ).run()
+    assert result.controller.counts["deadline-abort"] > 0
+    aborted = [r for r in result.records if r.aborted]
+    assert len(aborted) >= result.controller.counts["deadline-abort"] > 0
+    # placement-aware serving avoids the partitioned rack almost entirely
+    reactive = TraceReplayEngine(
+        None, trace, cfg, seed=8, platform_factory=factory,
+        controller=ControllerConfig(
+            pool_scaling=False, admission_control=False,
+            round_deadline_s=10.0, defer_deadline_s=0.0,
+        ),
+        fault_plan=plan,
+    ).run()
+    assert reactive.slo.attainment > result.slo.attainment
+
+
+# ------------------------------------------------------------- merge/report
+def test_slo_tracker_merge_preserves_shed_deferred_split():
+    a = SloTracker(10.0, controller=True)
+    a.observe(1.0, 2.0, deferred=True)
+    a.shed()
+    b = SloTracker(10.0)
+    b.observe(0.5, 1.0)
+    b.abort()
+    b.merge(a)
+    report = b.report()
+    assert report["shed"] == 1 and report["deferred"] == 1
+    assert report["rounds"] == 4  # 2 completed + 1 aborted + 1 shed
+    plain = SloTracker(10.0)
+    plain.observe(1.0, 1.0)
+    assert "shed" not in plain.report()
+
+
+def test_controller_report_merge_and_row():
+    a = ControllerReport()
+    a.ticks = 3
+    a.record(ControlAction(1.0, "limit-up", "tenant0", 1))
+    b = ControllerReport()
+    b.ticks = 2
+    b.record(ControlAction(2.0, "shed", "t0r1"))
+    a.merge(b)
+    row = a.row()
+    assert row["ctl_ticks"] == 5
+    assert row["ctl_limit_up"] == 1 and row["ctl_shed"] == 1
+    with pytest.raises(ConfigError):
+        ControlAction(0.0, "explode", "x")
+
+
+def test_replay_fault_plan_must_be_fabric_only():
+    trace = poisson_trace(5.0, 60.0, seed=1)
+    bad = FaultPlan(crashes=(AggregatorCrash(at=1.0),))
+    with pytest.raises(ConfigError):
+        TraceReplayEngine(
+            None, trace, platform_factory=_factory, fault_plan=bad
+        )

@@ -148,6 +148,38 @@ def test_trace_scenarios_golden_json_seq_vs_parallel_vs_profile(tmp_path):
             assert key in row
 
 
+def test_controlplane_scenarios_golden_json_seq_vs_parallel(tmp_path):
+    """One controller-enabled cell of each control-plane scenario:
+    sequential vs ``--jobs 4`` byte-identical — the reactive controller
+    (ticks, scale actions, deferral, watchdog, health-aware placement)
+    takes no random draws and perturbs nothing schedule-dependent."""
+    cells = (
+        ("autoscale-flashcrowd", {"mode": "reactive", "shards": "1"}),
+        ("placement-chaos", {"placement": "reactive"}),
+    )
+    for name, filters in cells:
+        seq, seq_result = _campaign_json(
+            tmp_path, f"ctl-seq-{name}", jobs=1, profile=False,
+            scenarios=(name,), filters=filters,
+        )
+        par, par_result = _campaign_json(
+            tmp_path, f"ctl-par-{name}", jobs=4, profile=False,
+            scenarios=(name,), filters=filters,
+        )
+        assert set(seq) == {f"{name}.json"}
+        assert seq[f"{name}.json"] == par[f"{name}.json"], (
+            f"{name}: sequential vs --jobs 4 differ"
+        )
+        for seq_rep, par_rep in zip(seq_result.reports, par_result.reports):
+            assert seq_rep.text == par_rep.text
+        # the controller actually ran and its columns reached the rows
+        rows = [row for rep in seq_result.reports for row in rep.rows]
+        assert rows
+        for row in rows:
+            assert row["ctl_ticks"] > 0
+            assert "shed" in row and "deferred" in row
+
+
 def test_stress100k_small_cell_golden_json_seq_vs_parallel(tmp_path):
     """The stress100k 5k cell (all shard values) through sequential and
     ``--jobs 4`` campaigns: the partitioned protocol's rows must be
