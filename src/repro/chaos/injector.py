@@ -36,6 +36,7 @@ from repro.cluster.network import Fabric
 from repro.common.errors import ChaosError, RoundAbort
 from repro.common.rng import make_rng
 from repro.core.aggregator import InstanceState
+from repro.core.policies import RecoveryContext, resolve_policy
 from repro.core.stages import LifecycleStage
 from repro.fl.failures import HeartbeatMonitor
 from repro.sim.engine import Environment, Process
@@ -67,6 +68,7 @@ class RecoveryController:
         self.tenant = tenant
         self.plan = plan
         self.report = report
+        self.policy = resolve_policy("recovery", plan.recovery_policy)
         self.monitor = HeartbeatMonitor(timeout=plan.heartbeat_timeout)
         self.delivered: set[int] = set()
         self.dropped: set[int] = set()
@@ -121,6 +123,20 @@ class RecoveryController:
                     monitor.beat(u.client_id, now)
             for cid in monitor.sweep(now):
                 self.report.clients_declared_failed += 1
+                verdict = self.policy.on_client_failed(
+                    RecoveryContext(
+                        client_id=cid,
+                        survivors=total - len(monitor.failed),
+                        quorum=quorum,
+                        total=total,
+                    )
+                )
+                if verdict == "abort":
+                    if not top_done.triggered:
+                        top_done.fail(
+                            RoundAbort(total - len(monitor.failed), quorum, total)
+                        )
+                    return
                 uid = self._uid_by_client[cid]
                 leaf_id = tenant.leaf_assignment[uid]
                 inst = tenant.instances[leaf_id]
@@ -132,7 +148,7 @@ class RecoveryController:
                     # it emits its empty intermediate and the tree unblocks.
                     tenant.create(inst)
             survivors = total - len(monitor.failed)
-            if survivors < quorum:
+            if self.policy.should_abort(survivors, quorum, total):
                 if not top_done.triggered:
                     top_done.fail(RoundAbort(survivors, quorum, total))
                 return

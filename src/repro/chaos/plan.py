@@ -132,13 +132,16 @@ class FaultPlan:
     the round must still aggregate at least ``ceil(fraction × clients)``
     updates or abort with :class:`~repro.common.errors.RoundAbort`.
     ``heartbeat_timeout`` / ``sweep_interval`` parameterize the keep-alive
-    failure detector (§3).
+    failure detector (§3).  ``recovery_policy`` names the registered
+    :class:`~repro.core.policies.RecoveryPolicy` that decides, per failed
+    client, whether the round shrinks its goal or aborts outright.
     """
 
     seed: int = 0
     quorum_fraction: float = 0.5
     heartbeat_timeout: float = 5.0
     sweep_interval: float = 1.0
+    recovery_policy: str = "shrink-or-abort"
     crashes: tuple[AggregatorCrash, ...] = ()
     dropouts: tuple[DropoutWave, ...] = ()
     nic_degradations: tuple[NicDegrade, ...] = ()

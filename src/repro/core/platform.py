@@ -34,6 +34,7 @@ from repro.controlplane.hierarchy import (
     plan_hierarchy,
 )
 from repro.controlplane.placement import make_placer, NodeCapacity
+from repro.core.policies import resolve_policy
 from repro.core.results import RoundResult
 from repro.core.updates import SimUpdate
 from repro.dataplane.calibration import DEFAULT_CALIBRATION, DataplaneCalibration
@@ -102,6 +103,13 @@ class PlatformConfig:
     ingress_stage: str = ""
     transfer_stage: str = ""
     lifecycle_stage: str = ""
+    #: round-placement policy name from the ``"placement"`` family of
+    #: :mod:`repro.core.policies` (how a whole round's updates are mapped
+    #: to nodes and planned — distinct from ``placement_policy``, the
+    #: bin-packing placer the ``locality`` policy delegates to).  Empty
+    #: string resolves the default, ``"locality"``, which reproduces the
+    #: pre-registry behaviour byte for byte.
+    round_placement: str = ""
 
     def __post_init__(self) -> None:
         if self.updates_per_leaf < 1:
@@ -209,6 +217,7 @@ class AggregationPlatform:
         self.node_spec = node_spec or NodeSpec(name="template")
         self.cal = cal
         self.placer = make_placer(config.placement_policy)
+        self.placement = resolve_policy("placement", config.round_placement)
         self.engine = RoundEngine(
             config, self.node_names, cal, self.node_spec, nic_bps_by_node=nic_bps_by_node
         )
@@ -331,9 +340,10 @@ class AggregationPlatform:
         internal round counter advances so each prepared round gets
         distinct aggregator ids.  ``nodes`` restricts placement to a fleet
         subset (chaos-aware placement); omitted, behaviour is unchanged.
+        Placement routes through the configured round-placement policy
+        (``PlatformConfig.round_placement``; default ``locality``).
         """
-        updates = self.place_updates(arrivals, nbytes, nodes=nodes)
-        plan = self.plan_round(updates, nodes=nodes)
+        updates, plan = self.placement.place(self, arrivals, nbytes, nodes=nodes)
         self._round += 1
         return updates, plan
 
@@ -349,8 +359,7 @@ class AggregationPlatform:
 
         ``injector`` (a :class:`repro.chaos.FaultInjector`) attaches fault
         and recovery processes before the round runs."""
-        updates = self.place_updates(arrivals, nbytes)
-        plan = self.plan_round(updates)
+        updates, plan = self.placement.place(self, arrivals, nbytes)
         result = self.engine.run_round(
             updates,
             plan,

@@ -48,6 +48,7 @@ from repro.experiments import (  # noqa: F401  (import order = catalogue order)
     stress100k,
     trace_scenarios,
     controlplane_scenarios,
+    policy_tournament,
 )
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "hetero_nic",
     "mixed_fleet",
     "overhead",
+    "policy_tournament",
     "stress50",
     "stress100k",
     "stress500",

@@ -58,8 +58,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.common.errors import ConfigError
-from repro.common.rng import make_rng
+from repro.common.rng import RngRegistry, make_rng
 from repro.common.units import RESNET18_BYTES
+from repro.core.policies import AdmissionContext, SelectionContext, resolve_policy
 from repro.sim.engine import Environment, Process
 from repro.traces.models import AvailabilityTrace, Trace
 from repro.traces.slo import SloTracker
@@ -95,6 +96,23 @@ class ReplayConfig:
     #: within-round update arrival spread (uniform [0, spread))
     arrival_spread_s: float = 2.0
     include_eval: bool = False
+    #: selection-policy name (``"selection"`` family of
+    #: :mod:`repro.core.policies`).  Empty string derives the default from
+    #: the inputs given — ``population`` / ``availability-aware`` /
+    #: ``random`` — reproducing pre-registry behaviour byte for byte.
+    selection_policy: str = ""
+    #: admission-policy name (``"admission"`` family).  Empty string means
+    #: ``bounded-queue``, or ``defer-with-deadline`` when a controller
+    #: with a deferral deadline runs — again the pre-registry behaviour.
+    admission_policy: str = ""
+    #: deferral budget for a standalone ``defer-with-deadline`` admission
+    #: policy (a controller's ``ControllerConfig.defer_deadline_s`` takes
+    #: precedence when one runs)
+    defer_deadline_s: float = 0.0
+    #: accumulate per-round simulated CPU cost (``RoundResult.cpu_total``)
+    #: and report ``cost_cpu_s`` / ``attainment_per_cost`` columns — off
+    #: by default so existing rows stay byte-identical
+    track_cost: bool = False
 
     def validate(self) -> None:
         if self.round_updates < 1:
@@ -109,6 +127,8 @@ class ReplayConfig:
             raise ConfigError("arrival_spread_s must be >= 0")
         if self.nbytes <= 0:
             raise ConfigError("nbytes must be positive")
+        if self.defer_deadline_s < 0:
+            raise ConfigError("defer_deadline_s must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -128,6 +148,9 @@ class ChaosCorrelation:
     quorum_fraction: float = 0.4
     heartbeat_timeout: float = 4.0
     sweep_interval: float = 1.0
+    #: recovery-policy name (``"recovery"`` family of
+    #: :mod:`repro.core.policies`) for the waves' recovery controllers
+    recovery_policy: str = "shrink-or-abort"
 
     def validate(self) -> None:
         if not 0.0 < self.dip_threshold <= 1.0:
@@ -193,6 +216,11 @@ class ReplayResult:
     #: the control loop's report when the replay ran one (None otherwise,
     #: which keeps controller-less rows byte-identical)
     controller: "ControllerReport | None" = None
+    #: simulated CPU-seconds spent serving (sum of finished rounds'
+    #: ``cpu_total``) — always accumulated, reported only when the config
+    #: asked for cost tracking
+    cost_cpu_s: float = 0.0
+    track_cost: bool = False
 
     @property
     def rounds_overlapped(self) -> bool:
@@ -209,6 +237,15 @@ class ReplayResult:
         )
         if self.controller is not None:
             out.update(self.controller.row())
+        if self.track_cost:
+            # The tournament columns: simulated cost and the ranking metric
+            # (SLO attainment bought per simulated CPU-second).
+            cost = round(self.cost_cpu_s, 6)
+            attain = out["slo_attainment"]
+            out.update(
+                cost_cpu_s=cost,
+                attainment_per_cost=round(attain / cost, 9) if cost > 0 else 0.0,
+            )
         return out
 
 
@@ -301,54 +338,91 @@ class TraceReplayEngine:
                     "ChaosCorrelation or FaultInjector.install()"
                 )
         self.seed = seed
+        #: one registry per replay: per-round participant streams and the
+        #: policies' bound streams all derive from the replay seed
+        self._rngs = RngRegistry(seed)
+        self._selection = resolve_policy(
+            "selection", self._selection_name(), self._rngs
+        )
+        self._admission = resolve_policy(
+            "admission", self._admission_name(), self._rngs
+        )
+
+    # ------------------------------------------------------------- policies
+    def _selection_name(self) -> str:
+        """The configured selection policy, or the default derived from
+        the inputs given — exactly the pre-registry branch order."""
+        name = self.config.selection_policy
+        if not name:
+            if self.population is not None:
+                return "population"
+            return "availability-aware" if self.selector is not None else "random"
+        if name == "population" and self.population is None:
+            raise ConfigError("selection policy 'population' needs a population")
+        if name == "availability-aware" and (
+            self.selector is None or self.availability is None
+        ):
+            raise ConfigError(
+                "selection policy 'availability-aware' needs selector, "
+                "clients, and an availability trace"
+            )
+        return name
+
+    def _admission_name(self) -> str:
+        """The configured admission policy, or the default: the bounded
+        queue — upgraded to the controller's deferral discipline when one
+        runs with a deadline, as before the registry."""
+        name = self.config.admission_policy
+        if name:
+            return name
+        ctl = self.controller_config
+        if ctl is not None and ctl.defer_deadline_s > 0:
+            return "defer-with-deadline"
+        return "bounded-queue"
+
+    @property
+    def _defer_deadline_s(self) -> float:
+        ctl = self.controller_config
+        return ctl.defer_deadline_s if ctl is not None else self.config.defer_deadline_s
 
     # ----------------------------------------------------------- participants
+    def _selection_context(self, ev) -> SelectionContext:
+        return SelectionContext(
+            at=ev.at,
+            tenant=ev.tenant,
+            round_id=ev.round_id,
+            round_updates=self.config.round_updates,
+            availability=self.availability,
+            weights=self.weights,
+            selector=self.selector,
+            clients=self.clients,
+            population=self.population,
+        )
+
     def _participants(self, ev) -> list[tuple[float, float]]:
         """Sample one round's (arrival offset, weight) pairs at its trace
-        arrival instant — availability-aware and seeded by round identity,
-        so admission timing never perturbs the draw."""
+        arrival instant, through the resolved selection policy — seeded by
+        round identity, so admission timing never perturbs the draw.
+
+        Draw order is fixed by contract: the policy's selection draws
+        first, then the offset batch, then the (draw-free) weight lookup —
+        so a registered default reproduces the pre-registry stream
+        exactly.
+        """
         cfg = self.config
-        rng = make_rng(self.seed, f"participants:{ev.tenant}:{ev.round_id}")
-        if self.population is not None:
-            # Vectorized path: mask + index selection + batched weight and
-            # offset draws; never materializes id strings or client objects.
-            pop = self.population
-            picked = self.selector.select_population(
-                pop, rng, pop.available_mask(ev.at)
-            )
-            if picked.size == 0:
-                return []
-            spread = cfg.arrival_spread_s
-            offsets = (
-                rng.uniform(0.0, spread, size=picked.size)
-                if spread > 0
-                else [0.0] * picked.size
-            )
-            weights = pop.weights(picked)
-            return [(float(off), float(w)) for off, w in zip(offsets, weights)]
-        if self.selector is not None:
-            avail = self.availability
-            picked = self.selector.select_available(
-                self.clients, rng, lambda cid: avail.is_available(cid, ev.at)
-            )
-            ids = [c.client_id for c in picked]
-        elif self.availability is not None:
-            ids = self.availability.sample(ev.at, cfg.round_updates, rng)
-        else:
-            ids = [f"synth-{i}" for i in range(cfg.round_updates)]
-        if not ids:
+        rng = self._rngs.stream(f"participants:{ev.tenant}:{ev.round_id}")
+        ctx = self._selection_context(ev)
+        picked = self._selection.select(ctx, rng)
+        if len(picked) == 0:
             return []
-        weights = self.weights
         spread = cfg.arrival_spread_s
         offsets = (
-            rng.uniform(0.0, spread, size=len(ids))
+            rng.uniform(0.0, spread, size=len(picked))
             if spread > 0
-            else [0.0] * len(ids)
+            else [0.0] * len(picked)
         )
-        return [
-            (float(off), float(weights.get(cid, 1.0)))
-            for cid, off in zip(ids, offsets)
-        ]
+        weights = self._selection.participant_weights(ctx, picked)
+        return [(float(off), float(w)) for off, w in zip(offsets, weights)]
 
     # ---------------------------------------------------------------- replay
     def run(
@@ -409,8 +483,15 @@ class TraceReplayEngine:
             from repro.chaos import FaultInjector
 
             FaultInjector(self.fault_plan).install_fabric(env, fabric)
+        admission = self._admission
+        defer_deadline_s = self._defer_deadline_s
         if ctl_cfg is None:
-            tracker = SloTracker(cfg.slo_target_s)
+            # A standalone deferral policy sheds rounds just like the
+            # controller's would — surface the shed/deferred columns then.
+            tracker = SloTracker(
+                cfg.slo_target_s,
+                controller=(admission.name == "defer-with-deadline"),
+            )
         else:
             tracker = SloTracker(
                 cfg.slo_target_s, window_s=ctl_cfg.burn_window_s, controller=True
@@ -419,7 +500,7 @@ class TraceReplayEngine:
         n_tenants = max(self.trace.tenants, 1)
         inflight = [0] * n_tenants
         pending: list[deque[RoundRecord]] = [deque() for _ in range(n_tenants)]
-        #: overflow arrivals parked with a shed deadline (controller only)
+        #: overflow arrivals parked with a shed deadline (deferral policy)
         deferred: list[deque[tuple[RoundRecord, float]]] = [
             deque() for _ in range(n_tenants)
         ]
@@ -428,6 +509,7 @@ class TraceReplayEngine:
             slo=tracker,
             horizon=self.trace.horizon,
             peak_inflight_per_tenant={t: 0 for t in range(n_tenants)},
+            track_cost=cfg.track_cost,
         )
         #: terminal outcomes seen (reject/shed/abort/complete); the
         #: controller's tick loop ends when every trace event has one
@@ -436,9 +518,10 @@ class TraceReplayEngine:
         def _shed(rec: RoundRecord, reason: str) -> None:
             rec.shed = True
             tracker.shed(at=env.now)
-            controller._record(
-                env.now, "shed", f"t{rec.tenant}r{rec.round_id}", 0, reason
-            )
+            if controller is not None:
+                controller._record(
+                    env.now, "shed", f"t{rec.tenant}r{rec.round_id}", 0, reason
+                )
             done[0] += 1
 
         def _promote(t: int) -> None:
@@ -463,8 +546,7 @@ class TraceReplayEngine:
         def _drain(t: int) -> None:
             """Admit queued rounds while the tenant has free slots."""
             while inflight[t] < limits[t]:
-                if controller is not None:
-                    _promote(t)
+                _promote(t)  # no-op unless a deferral policy parked rounds
                 queue = pending[t]
                 if not queue:
                     break
@@ -544,6 +626,7 @@ class TraceReplayEngine:
                     tenant_round, cfg.include_eval, start_time=rec.admit_at
                 )
                 result.clients_dropped += res.clients_dropped
+                result.cost_cpu_s += res.cpu_total
                 if rec.aborted:
                     tracker.abort(at=env.now)
                 else:
@@ -555,6 +638,52 @@ class TraceReplayEngine:
                 _drain(rec.tenant)
 
             tenant_round.top_done.callbacks.append(settled)
+
+        def _reject(rec: RoundRecord) -> None:
+            rec.rejected = True
+            tracker.reject(at=env.now)
+            done[0] += 1
+
+        def _apply_admission(rec: RoundRecord) -> None:
+            """Route one overflow arrival through the admission policy."""
+            t = rec.tenant
+            decision = admission.decide(
+                AdmissionContext(
+                    tenant=t,
+                    queue_len=len(pending[t]),
+                    queue_limit=cfg.queue_limit,
+                    now=env.now,
+                    defer_deadline_s=defer_deadline_s,
+                )
+            )
+            if decision == "enqueue":
+                if len(pending[t]) >= cfg.queue_limit:
+                    raise ConfigError(
+                        f"admission policy {admission.name!r} enqueued past "
+                        f"queue_limit={cfg.queue_limit}"
+                    )
+                pending[t].append(rec)
+            elif decision == "defer":
+                rec.deferred = True
+                deferred[t].append((rec, env.now + defer_deadline_s))
+                if controller is not None:
+                    controller._record(
+                        env.now, "defer", f"t{t}r{rec.round_id}", 0, "queue full"
+                    )
+            elif decision == "evict-oldest":
+                # Head drop: the queue's oldest waiter bounces (a rejection
+                # — it never got served) and the newcomer takes its place.
+                if pending[t]:
+                    _reject(pending[t].popleft())
+                pending[t].append(rec)
+            elif decision == "reject":
+                _reject(rec)
+            else:
+                raise ConfigError(
+                    f"admission policy {admission.name!r} returned unknown "
+                    f"decision {decision!r}; valid: enqueue/reject/defer/"
+                    "evict-oldest"
+                )
 
         def dispatch():
             for ev in self.trace.events:
@@ -570,33 +699,14 @@ class TraceReplayEngine:
                     participants=participants,
                 )
                 records.append(rec)
-                if controller is not None:
-                    _promote(ev.tenant)
+                _promote(ev.tenant)
                 if not participants:
                     # Nobody available: the service cannot form the round.
-                    rec.rejected = True
-                    tracker.reject(at=env.now)
-                    done[0] += 1
+                    _reject(rec)
                 elif inflight[ev.tenant] < limits[ev.tenant]:
                     admit(rec)
-                elif len(pending[ev.tenant]) < cfg.queue_limit:
-                    pending[ev.tenant].append(rec)
-                elif controller is not None and ctl_cfg.defer_deadline_s > 0:
-                    rec.deferred = True
-                    deferred[ev.tenant].append(
-                        (rec, env.now + ctl_cfg.defer_deadline_s)
-                    )
-                    controller._record(
-                        env.now,
-                        "defer",
-                        f"t{ev.tenant}r{ev.round_id}",
-                        0,
-                        "queue full",
-                    )
                 else:
-                    rec.rejected = True
-                    tracker.reject(at=env.now)
-                    done[0] += 1
+                    _apply_admission(rec)
 
         controller = None
         if ctl_cfg is not None:
@@ -642,6 +752,12 @@ class TraceReplayEngine:
                 expected = len(self.trace.events)
                 controller.start(lambda: done[0] >= expected)
             env.run()
+        for t in range(n_tenants):
+            # A standalone deferral policy has no controller tick to expire
+            # parked arrivals — anything still deferred at horizon is shed.
+            while deferred[t]:
+                rec, _ = deferred[t].popleft()
+                _shed(rec, "replay ended")
         return result
 
     # ----------------------------------------------------------------- chaos
@@ -668,6 +784,7 @@ class TraceReplayEngine:
             heartbeat_timeout=chaos.heartbeat_timeout,
             sweep_interval=chaos.sweep_interval,
             dropouts=(DropoutWave(at=env.now + chaos.wave_delay_s, fraction=frac),),
+            recovery_policy=chaos.recovery_policy,
         )
         FaultInjector(plan).install(
             env=env, fabric=fabric, engine=engine, tenants=[tenant_round]

@@ -107,6 +107,49 @@ def render_slo_report(docs: list[dict], slo_target: float | None = None) -> str:
     return "\n".join(lines).rstrip()
 
 
+def render_ranking(docs: list[dict], metric: str) -> str:
+    """Rank every SLO row carrying ``metric`` (tournament campaigns track
+    cost and emit ``attainment_per_cost``), best first, across all docs.
+
+    Rows without the metric — ordinary trace campaigns — are skipped, so
+    pointing the ranking at a mixed results directory is safe.
+    """
+    ranked = []
+    for doc in docs:
+        scenario = doc.get("scenario", "?")
+        for params, row in slo_rows(doc):
+            if metric not in row:
+                continue
+            cell = ",".join(f"{k}={v}" for k, v in params.items()) or "-"
+            ranked.append((scenario, cell, row))
+    if not ranked:
+        return (
+            f"no rows carry {metric!r} (run a cost-tracked campaign, e.g. "
+            "policy-tournament, with --out first)"
+        )
+    ranked.sort(key=lambda item: (-item[2][metric], item[0], item[1]))
+    rows = [
+        (
+            rank,
+            scenario,
+            cell,
+            f"{row['slo_attainment']:.1%}",
+            f"{row.get('cost_cpu_s', 0.0):.1f}",
+            f"{row[metric]:.6f}",
+        )
+        for rank, (scenario, cell, row) in enumerate(ranked, start=1)
+    ]
+    return "\n".join(
+        [
+            f"ranked by {metric} (best first)",
+            render_table(
+                ["#", "scenario", "cell", "attained", "cost (cpu·s)", metric],
+                rows,
+            ),
+        ]
+    )
+
+
 def _rescore_band(row: dict, target: float) -> str:
     """Bracket attainment for a target the campaign was not scored at."""
     p50, p95, p99 = (
@@ -136,12 +179,23 @@ def main(argv: list[str]) -> int:
         metavar="S",
         help="bracket attainment against a different target (seconds)",
     )
+    parser.add_argument(
+        "--rank-by",
+        choices=["attainment_per_cost"],
+        default=None,
+        metavar="METRIC",
+        help="append a cross-scenario ranking of cost-tracked rows "
+        "(tournament mode); choices: attainment_per_cost",
+    )
     args = parser.parse_args(argv[1:])
     docs = _load_docs(args.path)
     if not docs:
         print(f"no campaign JSON found under {args.path}")
         return 2
     print(render_slo_report(docs, slo_target=args.slo_target))
+    if args.rank_by:
+        print()
+        print(render_ranking(docs, args.rank_by))
     return 0
 
 

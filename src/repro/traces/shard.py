@@ -406,7 +406,10 @@ class ShardedReplayEngine:
         records = []
         peak_per_tenant: dict[int, int] = {}
         merged = ReplayResult(
-            records=records, slo=merged_slo, horizon=self.trace.horizon
+            records=records,
+            slo=merged_slo,
+            horizon=self.trace.horizon,
+            track_cost=self.config.track_cost,
         )
         for rep in reports:
             res = rep.result
@@ -415,6 +418,7 @@ class ShardedReplayEngine:
             merged.peak_inflight += res.peak_inflight
             merged.chaos_waves += res.chaos_waves
             merged.clients_dropped += res.clients_dropped
+            merged.cost_cpu_s += res.cost_cpu_s
             for tenant, peak in res.peak_inflight_per_tenant.items():
                 if peak > peak_per_tenant.get(tenant, -1):
                     peak_per_tenant[tenant] = peak

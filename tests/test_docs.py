@@ -41,7 +41,12 @@ def test_readme_links_resolve():
 def test_docs_exist_and_anchor_the_new_subsystem():
     for rel, needle in (
         ("docs/architecture.md", "ShardedReplayEngine"),
+        ("docs/architecture.md", "The policy seam"),
+        ("docs/architecture.md", "policy:family:name"),
         ("docs/scenario-authoring.md", "example-round-sweep"),
+        ("docs/scenario-authoring.md", "Registering a custom policy"),
+        ("docs/scenario-authoring.md", "freshest-first"),
+        ("README.md", "repro.core.policies"),
     ):
         path = os.path.join(REPO, rel)
         assert os.path.exists(path), rel
@@ -61,3 +66,17 @@ def test_custom_scenario_example_runs():
     assert proc.returncode == 0, proc.stderr
     assert "Example sweep" in proc.stdout
     assert "LIFL" in proc.stdout and "SL-H" in proc.stdout
+
+
+def test_custom_policy_example_runs():
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO, "examples", "custom_policy.py")],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "freshest-first served" in proc.stdout
+    assert "determinism holds" in proc.stdout

@@ -27,6 +27,18 @@ TRACE_SCENARIOS = (
     "trace-diurnal-multitenant",
     "trace-burst-chaos",
 )
+#: every paper-figure experiment — the seed tree the policy registry must
+#: reproduce byte for byte under default policy names
+FIGURE_SCENARIOS = (
+    "fig04",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig13",
+    "capacity",
+    "overhead",
+)
 SEED = 11
 
 
@@ -178,6 +190,73 @@ def test_controlplane_scenarios_golden_json_seq_vs_parallel(tmp_path):
         for row in rows:
             assert row["ctl_ticks"] > 0
             assert "shed" in row and "deferred" in row
+
+
+def test_figure_scenarios_golden_json_seq_vs_parallel(tmp_path):
+    """All eight paper experiments, sequential vs ``--jobs 4``: with the
+    policy registry resolving every default-named decision (placement's
+    ``locality``, the selector paths, queue admission), the figure rows
+    must stay byte-identical — the registry refactor is observationally
+    invisible to the paper reproduction.  The ``overhead`` scenario is
+    the one exception: it stopwatch-times real placement calls, so its
+    ``measured_ms`` readings move with machine load; everything else in
+    its JSON (operations, budgets, structure) must still match."""
+    import json
+
+    seq, seq_result = _campaign_json(
+        tmp_path, "fig-seq", jobs=1, profile=False, scenarios=FIGURE_SCENARIOS
+    )
+    par, par_result = _campaign_json(
+        tmp_path, "fig-par", jobs=4, profile=False, scenarios=FIGURE_SCENARIOS
+    )
+    assert set(seq) == {f"{name}.json" for name in FIGURE_SCENARIOS}
+
+    def _strip_stopwatch(obj):
+        if isinstance(obj, dict):
+            return {
+                k: (0.0 if k == "measured_ms" else _strip_stopwatch(v))
+                for k, v in obj.items()
+            }
+        if isinstance(obj, list):
+            return [_strip_stopwatch(v) for v in obj]
+        return obj
+
+    for name in seq:
+        if name == "overhead.json":
+            assert _strip_stopwatch(json.loads(seq[name])) == _strip_stopwatch(
+                json.loads(par[name])
+            ), f"{name}: sequential vs --jobs 4 differ beyond the stopwatch"
+        else:
+            assert seq[name] == par[name], f"{name}: sequential vs --jobs 4 differ"
+    for seq_rep, par_rep in zip(seq_result.reports, par_result.reports):
+        if seq_rep.spec.name == "overhead":
+            continue  # stopwatch readings appear in the rendered text too
+        assert seq_rep.text == par_rep.text
+
+
+def test_policy_tournament_golden_json_seq_vs_parallel(tmp_path):
+    """The full policy × workload tournament grid, sequential vs
+    ``--jobs 4``: every contender's replay draws only from injected RNG
+    streams, so the ranked brackets are a pure function of the campaign
+    seed."""
+    scenarios = ("policy-tournament",)
+    seq, seq_result = _campaign_json(
+        tmp_path, "pt-seq", jobs=1, profile=False, scenarios=scenarios
+    )
+    par, par_result = _campaign_json(
+        tmp_path, "pt-par", jobs=4, profile=False, scenarios=scenarios
+    )
+    assert set(seq) == {"policy-tournament.json"}
+    assert seq["policy-tournament.json"] == par["policy-tournament.json"]
+    for seq_rep, par_rep in zip(seq_result.reports, par_result.reports):
+        assert seq_rep.text == par_rep.text
+    # the ranked report and its cost metric actually materialized
+    rows = [row for rep in seq_result.reports for row in rep.rows]
+    assert rows
+    for row in rows:
+        assert row["cost_cpu_s"] > 0
+        assert "attainment_per_cost" in row
+    assert "bracket winners:" in seq_result.reports[0].text
 
 
 def test_stress100k_small_cell_golden_json_seq_vs_parallel(tmp_path):
