@@ -155,18 +155,39 @@ class RecoveryController:
 
 
 class FaultInjector:
-    """Executes one :class:`FaultPlan` against one installed round."""
+    """Executes one :class:`FaultPlan` against one installed round.
 
-    def __init__(self, plan: FaultPlan) -> None:
+    ``telemetry`` takes a :class:`~repro.telemetry.bus.TelemetryBus` (or
+    an already-resolved one); each executed fault action then emits one
+    ``chaos-fault`` record, timestamped at the instant the action fired —
+    the live-view's chaos windows come from pairing these records.
+    """
+
+    def __init__(self, plan: FaultPlan, telemetry=None) -> None:
         plan.validate()
         self.plan = plan
         self.report = ChaosReport()
         self.controllers: list[RecoveryController] = []
+        self._telemetry = telemetry.or_none() if telemetry is not None else None
+        self._env: Environment | None = None
+
+    def _emit(self, fault: str, target: str, value: float, tenant: int = -1) -> None:
+        tel = self._telemetry
+        if tel is not None and self._env is not None:
+            tel.emit(
+                "chaos-fault",
+                self._env.now,
+                tenant=tenant,
+                fault=fault,
+                target=target,
+                value=value,
+            )
 
     # The engine calls this duck-typed (keyword arguments), so the core
     # never imports the chaos package.
     def install(self, env: Environment, fabric: Fabric, engine, tenants: list) -> None:
         plan = self.plan
+        self._env = env
         if plan.crashes:
             lifecycle = engine.lifecycle
             if type(lifecycle).restart_instance is LifecycleStage.restart_instance:
@@ -232,6 +253,7 @@ class FaultInjector:
         need tenants to act on.
         """
         plan = self.plan
+        self._env = env
         if plan.crashes or plan.dropouts:
             raise ChaosError(
                 "fabric-only install cannot execute crash/dropout events — "
@@ -300,6 +322,7 @@ class FaultInjector:
         for i in picks:
             engine.lifecycle.restart_instance(candidates[i], env, engine.config)
             self.report.crashes_injected += 1
+        self._emit("crash", event.node or "any", float(len(picks)))
 
     def _dropout(self, tenants, wave, rng: np.random.Generator) -> None:
         for idx, (tenant, controller) in enumerate(zip(tenants, self.controllers)):
@@ -313,6 +336,7 @@ class FaultInjector:
             if not candidates:
                 continue
             mask = rng.uniform(size=len(candidates)) < wave.fraction
+            dropped = 0
             for uid, hit in zip(candidates, mask):
                 if not hit:
                     continue
@@ -323,19 +347,27 @@ class FaultInjector:
                     proc.defuse()
                     proc.interrupt("client-dropout")
                 self.report.clients_dropped += 1
+                dropped += 1
+            self._emit(
+                "dropout", f"{dropped}/{len(candidates)}", wave.fraction, tenant=idx
+            )
 
     def _rescale(self, fabric: Fabric, node: str, factor: float) -> None:
         fabric.set_node_rate_factor(node, factor)
         self.report.nic_events += 1
+        self._emit("nic-rescale", node, factor)
 
     def _slow(self, fabric: Fabric, node: str, factor: float) -> None:
         fabric.set_node_rate_factor(node, factor)
         self.report.slow_node_events += 1
+        self._emit("slow-node", node, factor)
 
     def _partition(self, fabric: Fabric, nodes) -> None:
         fabric.partition(nodes)
         self.report.partition_events += 1
+        self._emit("partition", ",".join(nodes), float(len(nodes)))
 
     def _heal(self, fabric: Fabric, nodes) -> None:
         fabric.heal(nodes)
         self.report.partition_events += 1
+        self._emit("heal", ",".join(nodes), float(len(nodes)))

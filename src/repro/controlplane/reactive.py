@@ -59,6 +59,7 @@ if TYPE_CHECKING:
     from repro.controlplane.hierarchy import HierarchyPlan
     from repro.core.stages import WarmState
     from repro.sim.engine import Environment
+    from repro.telemetry.bus import TelemetryBus
     from repro.traces.slo import SloTracker
 
 __all__ = [
@@ -270,6 +271,7 @@ class Controller:
         queue_depth: Callable[[int], int] | None = None,
         on_limit_raised: Callable[[int], None] | None = None,
         sweep_deferred: Callable[[float], None] | None = None,
+        telemetry: "TelemetryBus | None" = None,
     ) -> None:
         config.validate()
         self.config = config
@@ -285,6 +287,9 @@ class Controller:
         self._queue_depth = queue_depth or (lambda _t: 0)
         self._on_limit_raised = on_limit_raised
         self._sweep_deferred = sweep_deferred
+        #: resolved telemetry bus or None (the replay resolves and guards;
+        #: a standalone controller may pass a bus directly)
+        self._telemetry = telemetry.or_none() if telemetry is not None else None
         #: per-tenant admission limits, actuated in place (the replay
         #: reads these); the configured base is also the scale-down target
         self.base_limit = max(config.limit_min, min(config.limit_max, base_limit))
@@ -319,6 +324,15 @@ class Controller:
         if self._sweep_deferred is not None:
             self._sweep_deferred(now)
         burn = self.tracker.burn_rate(now)
+        if self._telemetry is not None:
+            self._telemetry.emit(
+                "controller-tick",
+                now,
+                burn=burn,
+                pool=self.warm.total(),
+                spinning=self._spinning,
+                limits=list(self.limits),
+            )
         if self.config.admission_control:
             self._tick_limits(now, burn)
         if self.config.pool_scaling:
@@ -326,6 +340,10 @@ class Controller:
 
     def _record(self, at: float, kind: str, target: str, delta: int, reason: str) -> None:
         self.report.record(ControlAction(at, kind, target, delta, reason))
+        if self._telemetry is not None:
+            self._telemetry.emit(
+                "control-action", at, action=kind, target=target, delta=delta, reason=reason
+            )
 
     # -- admission limits ---------------------------------------------------
     def _tick_limits(self, now: float, burn: float) -> None:

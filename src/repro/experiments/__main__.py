@@ -15,6 +15,8 @@ Usage::
     python -m repro.experiments --seed 7 --out out/ # seed + JSON rows
     python -m repro.experiments stress50 --filter system=LIFL --filter batch=900
     python -m repro.experiments fig08 --profile     # engine counters per run
+    python -m repro.experiments --filter tag=chaos  # by subsystem tag
+    python -m repro.experiments trace --telemetry out.jsonl  # record streams
 """
 
 from __future__ import annotations
@@ -22,8 +24,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.scenarios.registry import all_scenarios, match_scenarios
-from repro.scenarios.runner import CampaignRunner, parse_filters
+from repro.scenarios.registry import ScenarioSpec, all_scenarios, match_scenarios
+from repro.scenarios.runner import CampaignRunner, RunRecord, parse_filters
 
 
 def _positive_int(value: str) -> int:
@@ -71,30 +73,42 @@ def _parse(argv: list[str]) -> argparse.Namespace:
         action="store_true",
         help="collect engine counters per run and print a profile summary",
     )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="record every run's telemetry stream to one JSONL file",
+    )
     return parser.parse_args(argv)
 
 
 def _list_catalogue() -> None:
-    """The catalogue, grouped paper figures first, then extensions, with
-    each scenario's one-line description (its run function's first
-    docstring line)."""
+    """The catalogue, grouped by subsystem tag (a scenario carrying
+    several tags appears under each), with each scenario's one-line
+    description (its run function's first docstring line)."""
     specs = all_scenarios()
-    groups = (
-        ("Paper figures", [s for s in specs if s.paper]),
-        ("Extensions (non-paper)", [s for s in specs if not s.paper]),
-    )
+    groups: list[tuple[str, list[ScenarioSpec]]] = []
+    by_tag: dict[str, list[ScenarioSpec]] = {}
+    for spec in specs:
+        for tag in spec.tags or ("untagged",):
+            if tag not in by_tag:
+                by_tag[tag] = []
+                groups.append((tag, by_tag[tag]))
+            by_tag[tag].append(spec)
     width = max((len(s.name) for s in specs), default=14)
-    for heading, group in groups:
-        if not group:
-            continue
-        print(f"{heading}:")
+    for tag, group in groups:
+        print(f"[{tag}]")
         for spec in group:
             n_runs = len(spec.expand())
             grid = ", ".join(f"{k}×{len(v)}" for k, v in spec.grid) or "single run"
+            tags = ",".join(spec.tags)
             print(f"  {spec.name:<{width}} {spec.title}")
             if spec.description:
                 print(f"  {'':<{width}} {spec.description}")
-            print(f"  {'':<{width}} runs: {n_runs} ({grid}); workload: {spec.workload}")
+            print(
+                f"  {'':<{width}} runs: {n_runs} ({grid}); tags: {tags}; "
+                f"workload: {spec.workload}"
+            )
         print()
 
 
@@ -103,17 +117,28 @@ def main(argv: list[str]) -> int:
     if args.list:
         _list_catalogue()
         return 0
+    filters = parse_filters(args.filters)
+    # ``tag=`` selects whole scenarios by subsystem, not grid points — pop
+    # it before the runner would try (and fail) to match it as a grid axis.
+    tag = filters.pop("tag", None)
     specs = match_scenarios(args.scenarios or None)
+    if tag is not None:
+        specs = [s for s in specs if tag in s.tags]
     if not specs:
         have = [s.name for s in all_scenarios()]
-        print(f"no scenario matches {args.scenarios}; have {have}")
+        if tag is not None:
+            tags = sorted({t for s in all_scenarios() for t in s.tags})
+            print(f"no scenario matches {args.scenarios} with tag={tag!r}; tags: {tags}")
+        else:
+            print(f"no scenario matches {args.scenarios}; have {have}")
         return 2
     runner = CampaignRunner(
         jobs=args.jobs,
         seed=args.seed,
         out_dir=args.out,
-        filters=parse_filters(args.filters),
+        filters=filters,
         profile=args.profile,
+        telemetry_path=args.telemetry,
     )
     campaign = runner.run(specs)
     for report in campaign.reports:
@@ -126,43 +151,55 @@ def main(argv: list[str]) -> int:
         print("engine profile (per run):")
         for report in campaign.reports:
             for rec in report.records:
-                perf = rec.perf or {}
-                params = ",".join(f"{k}={v}" for k, v in rec.params.items()) or "-"
-                print(
-                    f"  {report.spec.name}[{rec.index}] {params}: "
-                    f"{perf.get('events_processed', 0)} events, "
-                    f"{perf.get('heap_pushes', 0)} pushes, "
-                    f"{perf.get('dead_timer_skips', 0)} dead skips, "
-                    f"peak queue {perf.get('peak_queue_depth', 0)}"
-                )
-                per_shard = perf.get("per_shard", {})
-                # natural order: shard2 before shard10
-                for label in sorted(per_shard, key=lambda s: (len(s), s)):
-                    shard = per_shard[label]
-                    # Sharded trace replays report each forked shard's
-                    # engine work next to the merged totals above.
-                    print(
-                        f"  {'':<{len(report.spec.name) + len(str(rec.index)) + 4}}"
-                        f"{label}: {shard.get('events_processed', 0)} events, "
-                        f"peak queue {shard.get('peak_queue_depth', 0)}"
-                    )
-                for row in rec.rows:
-                    if "slo_attainment" in row:
-                        # Trace scenarios: surface the SLO shape next to
-                        # the engine counters of the same run.
-                        print(
-                            f"  {'':<{len(report.spec.name) + len(str(rec.index)) + 4}}"
-                            f"slo: p50={row.get('latency_p50_s', 0.0):.2f}s "
-                            f"p95={row.get('latency_p95_s', 0.0):.2f}s "
-                            f"p99={row.get('latency_p99_s', 0.0):.2f}s "
-                            f"wait_p95={row.get('queue_wait_p95_s', 0.0):.2f}s "
-                            f"attained={row['slo_attainment']:.1%} "
-                            f"of {row.get('rounds', 0)} rounds"
-                        )
+                # One atomic write per run: building the whole multi-line
+                # block first keeps cells from interleaving when anything
+                # else (a pool worker's stderr, a wrapping harness) writes
+                # concurrently under --jobs N.
+                sys.stdout.write(_profile_block(report.spec.name, rec))
+                sys.stdout.flush()
         print()
     if args.out:
         print(f"JSON rows written to {args.out}/")
+    if args.telemetry:
+        print(f"telemetry stream written to {args.telemetry}")
     return 0
+
+
+def _profile_block(scenario: str, rec: RunRecord) -> str:
+    """One run's complete ``--profile`` text block, as a single string."""
+    perf = rec.perf or {}
+    params = ",".join(f"{k}={v}" for k, v in rec.params.items()) or "-"
+    lines = [
+        f"  {scenario}[{rec.index}] {params}: "
+        f"{perf.get('events_processed', 0)} events, "
+        f"{perf.get('heap_pushes', 0)} pushes, "
+        f"{perf.get('dead_timer_skips', 0)} dead skips, "
+        f"peak queue {perf.get('peak_queue_depth', 0)}"
+    ]
+    indent = " " * (len(scenario) + len(str(rec.index)) + 4)
+    per_shard = perf.get("per_shard", {})
+    # natural order: shard2 before shard10
+    for label in sorted(per_shard, key=lambda s: (len(s), s)):
+        shard = per_shard[label]
+        # Sharded trace replays report each forked shard's engine work
+        # next to the merged totals above.
+        lines.append(
+            f"  {indent}{label}: {shard.get('events_processed', 0)} events, "
+            f"peak queue {shard.get('peak_queue_depth', 0)}"
+        )
+    for row in rec.rows:
+        if "slo_attainment" in row:
+            # Trace scenarios: surface the SLO shape next to the engine
+            # counters of the same run.
+            lines.append(
+                f"  {indent}slo: p50={row.get('latency_p50_s', 0.0):.2f}s "
+                f"p95={row.get('latency_p95_s', 0.0):.2f}s "
+                f"p99={row.get('latency_p99_s', 0.0):.2f}s "
+                f"wait_p95={row.get('queue_wait_p95_s', 0.0):.2f}s "
+                f"attained={row['slo_attainment']:.1%} "
+                f"of {row.get('rounds', 0)} rounds"
+            )
+    return "\n".join(lines) + "\n"
 
 
 if __name__ == "__main__":

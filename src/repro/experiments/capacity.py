@@ -98,6 +98,7 @@ def _render(rows: list[dict]) -> str:
     render=_render,
     workload="Poisson arrival sweep on one simulated node",
     metrics=("mean_exec_time",),
+    tags=('paper',),
 )
 def capacity_scenario(run_spec: ScenarioRun) -> list[dict]:
     """Appendix E: one rate sweep per run."""

@@ -139,6 +139,7 @@ def _render(rows: list[dict]) -> str:
     workload=f"{N_NODES} nodes, {BATCH} concurrent ResNet-152 updates, quorum {QUORUM_FRACTION:.0%}",
     metrics=("completed", "updates_aggregated", "act_s", "restarts"),
     paper=False,
+    tags=('chaos',),
 )
 def chaos_sweep_scenario(run_spec: ScenarioRun) -> list[dict]:
     """One (dropout_rate, crashes) cell of the failure grid."""

@@ -175,6 +175,7 @@ def _render_flashcrowd(rows: list[dict]) -> str:
     ),
     metrics=("slo_attainment", "latency_p95_s", "rejected"),
     paper=False,
+    tags=('controlplane', 'traces'),
 )
 def autoscale_flashcrowd_scenario(run_spec: ScenarioRun) -> list[dict]:
     """One (mode, shards) serving cell; the trace is shared across modes."""
@@ -288,6 +289,7 @@ def _render_placement_chaos(rows: list[dict]) -> str:
     ),
     metrics=("slo_attainment", "aborted", "completed"),
     paper=False,
+    tags=('controlplane', 'chaos'),
 )
 def placement_chaos_scenario(run_spec: ScenarioRun) -> list[dict]:
     """One placement-mode cell; trace and fault plan shared across modes."""

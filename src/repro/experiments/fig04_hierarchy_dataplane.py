@@ -118,6 +118,7 @@ def _render(rows: list[dict]) -> str:
     render=_render,
     workload="8 trainers, ResNet-152, one node",
     metrics=("round_seconds",),
+    tags=('paper',),
 )
 def fig04_scenario(run_spec: ScenarioRun) -> list[dict]:
     """Fig. 4 / Fig. 7(c): one (setting,) grid point per run."""

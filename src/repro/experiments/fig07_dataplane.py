@@ -117,6 +117,7 @@ def _render(rows: list[dict]) -> str:
     render=_render,
     workload="single intra-node transfer, ResNet-18/34/152",
     metrics=("latency_s", "gcycles"),
+    tags=('paper',),
 )
 def fig07_scenario(run_spec: ScenarioRun) -> list[dict]:
     """Fig. 7(a)/(b): pure cost-model evaluation, one run."""

@@ -132,6 +132,7 @@ def _render(rows: list[dict]) -> str:
     render=_render,
     workload="5 nodes, MC=20, ResNet-152, batches 20/60/100",
     metrics=("act_s", "cpu_s", "aggregators_created", "nodes_used"),
+    tags=('paper',),
 )
 def fig08_scenario(run_spec: ScenarioRun) -> list[dict]:
     """Fig. 8: one (configuration, batch) ablation cell per run."""

@@ -138,6 +138,7 @@ def _render(rows: list[dict]) -> str:
     render=_render,
     workload="FedScale-like populations, ResNet-18 mobile / ResNet-152 server",
     metrics=("tta_s", "cta_s", "rounds"),
+    tags=('paper',),
 )
 def fig09_scenario(run_spec: ScenarioRun) -> list[dict]:
     """Fig. 9: one (setup, system) full FL run per grid point."""

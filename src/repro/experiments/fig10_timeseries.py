@@ -100,6 +100,7 @@ def _render(rows: list[dict]) -> str:
     render=_render,
     workload="Fig. 9 workloads, first 30 rounds",
     metrics=("arrivals_per_min", "active_aggs", "cpu_per_round"),
+    tags=('paper',),
 )
 def fig10_scenario(run_spec: ScenarioRun) -> list[dict]:
     """Fig. 10: per-(setup, system) series means over the first 30 rounds."""

@@ -100,6 +100,7 @@ def _render(rows: list[dict]) -> str:
     render=_render,
     workload="one update, client → aggregator, M1/M2/M3",
     metrics=("cpu_s", "memory_copies", "delay_s"),
+    tags=('paper',),
 )
 def fig13_scenario(run_spec: ScenarioRun) -> list[dict]:
     """Fig. 13 / Appendix F: pure cost-model evaluation, one run."""

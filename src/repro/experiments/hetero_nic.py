@@ -102,6 +102,7 @@ def _render(rows: list[dict]) -> str:
     workload=f"{N_NODES} nodes cycling NIC speeds, {BATCH} ResNet-152 updates",
     metrics=("act_s", "cpu_s", "cross_node_transfers"),
     paper=False,
+    tags=('chaos', 'workload'),
 )
 def hetero_nic_scenario(run_spec: ScenarioRun) -> list[dict]:
     """One (NIC profile, system) cell of the heterogeneity sweep."""

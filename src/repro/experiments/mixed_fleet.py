@@ -128,6 +128,7 @@ def _render(rows: list[dict]) -> str:
     workload=f"{POPULATION}-client mixed fleet, ResNet-18, {ROUNDS} rounds",
     metrics=("mean_round_s", "cpu_per_round_s"),
     paper=False,
+    tags=('workload',),
 )
 def mixed_fleet_scenario(run_spec: ScenarioRun) -> list[dict]:
     """One (mobile_share, system) point of the fleet-mix sweep."""

@@ -66,6 +66,7 @@ def _render(rows: list[dict]) -> str:
     render=_render,
     workload="placement at 1K/10K clients, EWMA estimates",
     metrics=("measured_ms",),
+    tags=('paper',),
 )
 def overhead_scenario(run_spec: ScenarioRun) -> list[dict]:
     """§6.1: wall-clock measurements — rows vary run to run by nature."""

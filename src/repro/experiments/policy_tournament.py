@@ -281,6 +281,7 @@ def _render_tournament(rows: list[dict]) -> str:
     ),
     metrics=("slo_attainment", "cost_cpu_s", "attainment_per_cost"),
     paper=False,
+    tags=('policies',),
 )
 def policy_tournament_scenario(run_spec: ScenarioRun) -> list[dict]:
     """One (workload, contender) cell; the workload seed is shared across

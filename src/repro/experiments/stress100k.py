@@ -143,6 +143,7 @@ def _render(rows: list[dict]) -> str:
     workload="100k SoA clients, 10k-update LIFL rounds cut across cohort shards",
     metrics=("act_s", "cpu_s", "cross_node_transfers", "updates"),
     paper=False,
+    tags=('perf', 'scale'),
 )
 def stress100k_scenario(run_spec: ScenarioRun) -> list[dict]:
     """One (scale, shards) cell; all draws key off the scale, never the

@@ -93,6 +93,7 @@ def _render(rows: list[dict]) -> str:
     workload=f"{N_NODES} nodes, batches {'/'.join(map(str, BATCHES))}, ResNet-152",
     metrics=("act_s", "cpu_s", "nodes_used", "cross_node_transfers"),
     paper=False,
+    tags=('perf',),
 )
 def stress50_scenario(run_spec: ScenarioRun) -> list[dict]:
     """One (system, batch) stress cell; arrivals seeded like Fig. 8."""

@@ -104,6 +104,7 @@ def _render(rows: list[dict]) -> str:
     workload=f"{N_NODES} nodes, {'/'.join(map(str, TENANT_COUNTS))} tenants x {TENANT_BATCH} ResNet-152 updates",
     metrics=("mean_act_s", "max_act_s", "cpu_s", "cross_node_transfers"),
     paper=False,
+    tags=('chaos', 'scale'),
 )
 def stress500_scenario(run_spec: ScenarioRun) -> list[dict]:
     """One (system, tenant-count) cell; arrivals seeded like stress50."""

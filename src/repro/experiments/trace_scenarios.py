@@ -157,6 +157,7 @@ def _render_poisson(rows: list[dict]) -> str:
     workload=f"{N_NODES} nodes, {POISSON_HORIZON_S:.0f}s Poisson traces, 8-update rounds",
     metrics=("latency_p50_s", "latency_p95_s", "latency_p99_s", "slo_attainment"),
     paper=False,
+    tags=('traces', 'slo'),
 )
 def trace_poisson_scenario(run_spec: ScenarioRun) -> list[dict]:
     """One (system, rate, shards) serving cell; trace shared across systems."""
@@ -271,6 +272,7 @@ def _render_diurnal(rows: list[dict]) -> str:
     ),
     metrics=("latency_p50_s", "latency_p95_s", "latency_p99_s", "slo_attainment", "peak_inflight"),
     paper=False,
+    tags=('traces', 'slo'),
 )
 def trace_diurnal_scenario(run_spec: ScenarioRun) -> list[dict]:
     """One system serving the shared 4-tenant diurnal workload, optionally
@@ -365,6 +367,7 @@ def _render_burst(rows: list[dict]) -> str:
     workload=f"{N_NODES} nodes, MMPP bursts over {BURST_HORIZON_S:.0f}s, {BURST_CLIENTS}-client churny population",
     metrics=("latency_p95_s", "slo_attainment", "chaos_waves", "clients_dropped", "aborted"),
     paper=False,
+    tags=('traces', 'slo', 'chaos'),
 )
 def trace_burst_scenario(run_spec: ScenarioRun) -> list[dict]:
     """One (system, chaos on/off, shards) cell on the shared burst workload."""

@@ -378,6 +378,104 @@ def run_suite(repeat: int = 3) -> dict:
     return out
 
 
+# ---------------------------------------------------------------- trend
+
+#: the headline metrics ``--trend`` (and the HTML report's sparklines)
+#: follow across a trajectory file's labelled runs:
+#: (metric name, unit, scale applied to the stored value, path into
+#: one run's ``metrics`` document)
+TREND_METRICS: tuple[tuple[str, str, float, tuple[str, ...]], ...] = (
+    ("micro/timer_churn", "ev/s", 1.0, ("micro", "timer_churn", "events_per_second")),
+    ("micro/process_churn", "ev/s", 1.0, ("micro", "process_churn", "events_per_second")),
+    ("micro/ps_link_churn", "ev/s", 1.0, ("micro", "ps_link_churn", "events_per_second")),
+    ("micro/fabric_churn", "ev/s", 1.0, ("micro", "fabric_churn", "events_per_second")),
+    ("stress50/LIFL", "ms", 1e3, ("macro_stress50", "LIFL", "seconds")),
+    ("stress50/SL-H", "ms", 1e3, ("macro_stress50", "SL-H", "seconds")),
+    ("stress500/LIFL", "ms", 1e3, ("macro_stress500", "LIFL", "seconds")),
+    ("stress500/SL-H", "ms", 1e3, ("macro_stress500", "SL-H", "seconds")),
+    ("trace-diurnal/LIFL", "ms", 1e3, ("macro_trace_diurnal", "LIFL", "seconds")),
+    ("trace-diurnal/SL-H", "ms", 1e3, ("macro_trace_diurnal", "SL-H", "seconds")),
+    (
+        "trace-sharded/LIFL speedup",
+        "x",
+        1.0,
+        ("macro_trace_diurnal_sharded", "LIFL", "critical_path_speedup"),
+    ),
+    (
+        "trace-sharded/SL-H speedup",
+        "x",
+        1.0,
+        ("macro_trace_diurnal_sharded", "SL-H", "critical_path_speedup"),
+    ),
+    ("stress100k seq", "ms", 1e3, ("macro_stress100k", "sequential_seconds")),
+    ("stress100k speedup", "x", 1.0, ("macro_stress100k", "critical_path_speedup")),
+)
+
+
+def _lookup(metrics: dict, path: tuple[str, ...]) -> float | None:
+    node: object = metrics
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def trend_series(doc: dict) -> list[dict]:
+    """Per-metric trajectories across a trajectory file's labelled runs.
+
+    Returns one ``{"metric", "unit", "points"}`` entry per headline metric
+    that appears in at least one run; ``points`` pairs every run label
+    with the metric's value there (None where that run never measured
+    it — e.g. everything before the benchmark existed).  The ``--trend``
+    table and the HTML report's sparklines both read this.
+    """
+    runs = doc.get("runs", [])
+    labels = [run.get("label", f"run{i}") for i, run in enumerate(runs)]
+    series: list[dict] = []
+    for name, unit, scale, path in TREND_METRICS:
+        points: list[tuple[str, float | None]] = []
+        for label, run in zip(labels, runs):
+            value = _lookup(run.get("metrics", {}), path)
+            points.append((label, value * scale if value is not None else None))
+        if any(v is not None for _, v in points):
+            series.append({"metric": name, "unit": unit, "points": points})
+    return series
+
+
+def _fmt_trend(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 10_000:
+        return f"{value:,.0f}"
+    return f"{value:.3g}"
+
+
+def render_trend(doc: dict) -> str:
+    """The ``--trend`` table: one row per headline metric, its values in
+    run order, and how the last measurement moved against the previous
+    one."""
+    series = trend_series(doc)
+    if not series:
+        return "no labelled runs in trajectory"
+    labels = [label for label, _ in series[0]["points"]]
+    lines = [f"trajectory across {len(labels)} labelled runs:"]
+    lines.extend(f"  [{i}] {label}" for i, label in enumerate(labels))
+    lines.append("")
+    width = max(len(s["metric"]) for s in series)
+    for s in series:
+        values = [v for _, v in s["points"]]
+        cells = " -> ".join(_fmt_trend(v) for v in values)
+        measured = [v for v in values if v is not None]
+        if len(measured) >= 2 and measured[-2]:
+            delta = (measured[-1] - measured[-2]) / measured[-2] * 100.0
+            note = f"  (last vs prev: {delta:+.1f}%)"
+        else:
+            note = ""
+        lines.append(f"  {s['metric']:<{width}} {s['unit']:<5} {cells}{note}")
+    return "\n".join(lines)
+
+
 # --------------------------------------------------------------- record
 
 
@@ -421,6 +519,12 @@ def main(argv: list[str]) -> int:
     )
     parser.add_argument("--out", default=None, metavar="PATH", help="append to a BENCH_*.json trajectory")
     parser.add_argument("--label", default="dev", help="label for the recorded entry")
+    parser.add_argument(
+        "--trend",
+        action="store_true",
+        help="print the per-label metric trajectory from an existing "
+        "BENCH_*.json (default BENCH_engine.json; no benchmarks run)",
+    )
     parser.add_argument("--repeat", type=int, default=3, help="best-of-N repetitions (default 3)")
     parser.add_argument("--skip-macro", action="store_true", help="micro-benchmarks only")
     parser.add_argument(
@@ -432,6 +536,15 @@ def main(argv: list[str]) -> int:
         f"{', '.join(['micro', *MACRO_BENCHES])} (recorded entries merge by label)",
     )
     args = parser.parse_args(argv[1:])
+
+    if args.trend:
+        path = args.out or "BENCH_engine.json"
+        if not os.path.exists(path):
+            parser.error(f"no trajectory file at {path}")
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        print(render_trend(doc))
+        return 0
 
     if args.only:
         unknown = [n for n in args.only if n != "micro" and n not in MACRO_BENCHES]

@@ -119,6 +119,12 @@ class PerfCollector:
         return out
 
 
+def snapshot(env: Any) -> dict[str, int]:
+    """One environment's counter attributes as a flat dict — the payload
+    of the telemetry bus's ``perf-snapshot`` record."""
+    return {name: getattr(env, name) for name in COUNTER_FIELDS}
+
+
 _ACTIVE: list[PerfCollector] = []
 
 

@@ -78,6 +78,10 @@ class ScenarioSpec:
     #: True when the scenario reproduces a paper figure/table
     paper: bool = True
     description: str = ""
+    #: subsystem tags (``paper``, ``traces``, ``chaos``, ``perf``, …) —
+    #: ``--list`` groups the catalogue by these and ``--filter tag=X``
+    #: selects scenarios by subsystem
+    tags: tuple[str, ...] = ()
 
     def expand(self, campaign_seed: int = 0) -> list[ScenarioRun]:
         """The scenario's run list: one :class:`ScenarioRun` per grid point
@@ -118,12 +122,14 @@ def scenario(
     workload: str = "",
     metrics: Sequence[str] = (),
     paper: bool = True,
+    tags: Sequence[str] = (),
 ) -> Callable[[RunFn], RunFn]:
     """Decorator: register ``fn`` as scenario ``name``.
 
     The decorated function stays usable directly (tests call it with a
     hand-built :class:`ScenarioRun`); registration only adds it to the
-    campaign catalogue.
+    campaign catalogue.  ``tags`` name the subsystems the scenario
+    exercises (``--filter tag=chaos`` selects by them).
     """
 
     def deco(fn: RunFn) -> RunFn:
@@ -144,6 +150,7 @@ def scenario(
             metrics=tuple(metrics),
             paper=paper,
             description=(fn.__doc__ or "").strip().splitlines()[0] if fn.__doc__ else "",
+            tags=tuple(tags),
         )
         return fn
 

@@ -42,6 +42,11 @@ class RunRecord:
     rows: list[dict]
     #: engine counters for the run (``--profile`` campaigns only)
     perf: dict | None = None
+    #: the run's telemetry stream as JSON-ready record objects
+    #: (``--telemetry`` campaigns only) — serialized in the worker so
+    #: parallel runs ship plain data home, and the parent writes one
+    #: ordered JSONL file whatever the job count
+    telemetry: list[dict] | None = None
 
 
 @dataclass
@@ -72,10 +77,10 @@ class CampaignResult:
         raise ConfigError(f"campaign has no scenario {name!r}")
 
 
-def _execute_payload(payload: tuple[str, int, dict, int, int, bool]) -> RunRecord:
+def _execute_payload(payload: tuple[str, int, dict, int, int, bool, bool]) -> RunRecord:
     """Worker entry point: look the scenario up (re-discovering in spawned
     interpreters) and run one grid point."""
-    scenario_name, index, params, seed, campaign_seed, profile = payload
+    scenario_name, index, params, seed, campaign_seed, profile, telemetry = payload
     discover()
     spec = get_scenario(scenario_name)
     run = ScenarioRun(
@@ -86,11 +91,29 @@ def _execute_payload(payload: tuple[str, int, dict, int, int, bool]) -> RunRecor
         campaign_seed=campaign_seed,
     )
     perf: dict | None = None
+    stream: list[dict] | None = None
+
+    def execute() -> list[dict]:
+        if not telemetry:
+            return spec.run(run)
+        # An ambient bus + recorder: any replay engine the scenario builds
+        # picks the bus up without the scenario knowing about telemetry.
+        from repro.telemetry.bus import RecordingSubscriber, TelemetryBus, capture
+        from repro.telemetry.sink import records_to_objs
+
+        bus = TelemetryBus()
+        recorder = RecordingSubscriber(bus)
+        with capture(bus):
+            out = spec.run(run)
+        nonlocal stream
+        stream = records_to_objs(recorder.records)
+        return out
+
     if profile:
         from repro.perf.counters import collect
 
         with collect() as collector:
-            rows = spec.run(run)
+            rows = execute()
         perf = collector.counters().as_dict()
         labelled = collector.labelled()
         if labelled:
@@ -100,7 +123,7 @@ def _execute_payload(payload: tuple[str, int, dict, int, int, bool]) -> RunRecor
                 label: counters.as_dict() for label, counters in labelled.items()
             }
     else:
-        rows = spec.run(run)
+        rows = execute()
     _check_rows(scenario_name, rows)
     return RunRecord(
         scenario=scenario_name,
@@ -109,6 +132,7 @@ def _execute_payload(payload: tuple[str, int, dict, int, int, bool]) -> RunRecor
         seed=seed,
         rows=rows,
         perf=perf,
+        telemetry=stream,
     )
 
 
@@ -185,12 +209,18 @@ class CampaignRunner:
         out_dir: str | None = None,
         filters: dict[str, str] | None = None,
         profile: bool = False,
+        telemetry_path: str | None = None,
     ) -> None:
         """``filters`` selects a grid subset (``{"system": "LIFL"}`` keeps
         only runs whose expanded params match every pair; per-run seeds are
         derived from the *unfiltered* expansion, so a filtered run equals
         the same run in a full campaign).  ``profile`` attaches engine
-        counters to each :class:`RunRecord`."""
+        counters to each :class:`RunRecord`.  ``telemetry_path`` records
+        every run's telemetry stream and writes one schema-versioned JSONL
+        file after the campaign — runs execute with an ambient
+        :class:`~repro.telemetry.bus.TelemetryBus` and ship their records
+        home, so the file is ordered (scenario order, then run index)
+        regardless of ``jobs``."""
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
@@ -198,6 +228,7 @@ class CampaignRunner:
         self.out_dir = out_dir
         self.filters = dict(filters) if filters else {}
         self.profile = profile
+        self.telemetry_path = telemetry_path
 
     # ---------------------------------------------------------------- expand
     def expand(self, specs: Sequence[ScenarioSpec]) -> list[ScenarioRun]:
@@ -217,7 +248,15 @@ class CampaignRunner:
     def run(self, specs: Sequence[ScenarioSpec]) -> CampaignResult:
         runs = self.expand(specs)
         payloads = [
-            (r.scenario, r.index, dict(r.params), r.seed, r.campaign_seed, self.profile)
+            (
+                r.scenario,
+                r.index,
+                dict(r.params),
+                r.seed,
+                r.campaign_seed,
+                self.profile,
+                self.telemetry_path is not None,
+            )
             for r in runs
         ]
         if self.jobs > 1 and len(payloads) > 1:
@@ -247,6 +286,8 @@ class CampaignRunner:
             result.reports.append(ScenarioReport(spec=spec, records=recs, text=text))
         if self.out_dir:
             self.write_json(result)
+        if self.telemetry_path:
+            self.write_telemetry(result)
         return result
 
     def _run_parallel(self, payloads: list[tuple]) -> list[RunRecord]:
@@ -286,6 +327,37 @@ class CampaignRunner:
                 fh.write("\n")
             paths.append(path)
         return paths
+
+    def write_telemetry(self, result: CampaignResult) -> str:
+        """One JSONL stream for the whole campaign: the schema-versioned
+        header, then per run a ``run-start`` context line followed by the
+        run's records — scenario order, run-index order, always."""
+        assert self.telemetry_path is not None
+        from repro.telemetry.sink import JsonlSink
+
+        parent = os.path.dirname(self.telemetry_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.telemetry_path, "w", encoding="utf-8") as fh:
+            sink = JsonlSink(
+                fh,
+                flush_every=256,
+                campaign_seed=result.seed,
+                scenarios=[rep.spec.name for rep in result.reports],
+            )
+            for rep in result.reports:
+                for rec in rep.records:
+                    sink.context(
+                        "run-start",
+                        scenario=rec.scenario,
+                        index=rec.index,
+                        params=rec.params,
+                        seed=rec.seed,
+                    )
+                    for obj in rec.telemetry or []:
+                        sink.write_obj(obj)
+            fh.flush()
+        return self.telemetry_path
 
 
 def run_scenario(name: str, jobs: int = 1, seed: int = 0) -> ScenarioReport:

@@ -1,0 +1,65 @@
+"""Streaming telemetry: typed event records emitted while a replay runs.
+
+Every subsystem built since the engine rework reports post-hoc — the SLO
+tracker, the controller report, the chaos report, and the perf counters
+all publish one flat row *after* a campaign cell exits.  This package is
+the live counterpart: a :class:`~repro.telemetry.bus.TelemetryBus` that
+the serving loop (:mod:`repro.traces.replay`), the sharded replay
+(:mod:`repro.traces.shard`), the reactive controller
+(:mod:`repro.controlplane.reactive`), and the fault injector
+(:mod:`repro.chaos.injector`) emit timestamped records into as events
+happen, plus the layers on top of the stream:
+
+* :mod:`repro.telemetry.sink` — the schema-versioned JSONL record format
+  (``--telemetry out.jsonl`` on the campaign CLI) and its validator;
+* :mod:`repro.telemetry.watch` — ``python -m repro.telemetry.watch``, a
+  terminal live view of queue depths, attainment, burn rate, and active
+  chaos windows over a live or finished stream;
+* :mod:`repro.telemetry.html` — the campaign HTML report builder behind
+  ``python -m repro.traces.report --html``.
+
+The bus follows the repo's zero-overhead-when-unused discipline: with no
+bus installed (the default) no emission site allocates anything, and a bus
+without subscribers is dropped at replay construction — the golden
+determinism suite pins all eight figure experiments byte-identical with
+this package imported but unsubscribed.  Emission never touches the
+simulation: records are synchronous appends derived from state the replay
+already computes, so a subscribed replay is byte-identical to an
+unsubscribed one in everything except the stream it writes.
+"""
+
+from repro.telemetry.bus import (
+    RECORD_KINDS,
+    SCHEMA_VERSION,
+    RecordingSubscriber,
+    TelemetryBus,
+    TelemetryRecord,
+    ambient_bus,
+    capture,
+    merge_streams,
+    slo_from_records,
+)
+from repro.telemetry.sink import (
+    JsonlSink,
+    read_jsonl,
+    record_from_obj,
+    record_to_obj,
+    validate_stream,
+)
+
+__all__ = [
+    "JsonlSink",
+    "RECORD_KINDS",
+    "RecordingSubscriber",
+    "SCHEMA_VERSION",
+    "TelemetryBus",
+    "TelemetryRecord",
+    "ambient_bus",
+    "capture",
+    "merge_streams",
+    "read_jsonl",
+    "record_from_obj",
+    "record_to_obj",
+    "slo_from_records",
+    "validate_stream",
+]

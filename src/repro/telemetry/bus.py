@@ -1,0 +1,310 @@
+"""The telemetry bus: typed, timestamped records, zero-cost when unused.
+
+A :class:`TelemetryRecord` is one observation at one instant of virtual
+time — a round changing state, an SLO outcome, a queue-depth sample, a
+controller action, a chaos fault firing, a per-shard perf snapshot.  The
+catalogue of record kinds (and the field names each may carry) lives in
+:data:`RECORD_KINDS`; the stream format is versioned by
+:data:`SCHEMA_VERSION` and serialized by :mod:`repro.telemetry.sink`.
+
+Emitters follow one discipline, mirrored from :mod:`repro.perf.counters`:
+
+* every emission site is guarded by ``if tel is not None`` on a local the
+  emitter resolved once at construction;
+* a bus **without subscribers resolves to None** (see
+  :meth:`TelemetryBus.or_none`), so handing a dormant bus around costs
+  nothing per event;
+* with no bus at all (the default everywhere) nothing is allocated — the
+  golden determinism suite pins the figure experiments byte-identical
+  with this module imported but unsubscribed.
+
+``capture(bus)`` installs an *ambient* bus for a code block, the way the
+perf collector does: code that builds a
+:class:`~repro.traces.replay.TraceReplayEngine` inside the block — e.g. a
+registered scenario run by the campaign CLI's ``--telemetry`` flag — picks
+the bus up without any parameter plumbing.  An explicitly passed
+``telemetry=`` always wins over the ambient bus.
+
+Determinism: records never feed back into the simulation (no RNG draws,
+no event-queue traffic), so a subscribed replay produces the same bytes
+as an unsubscribed one — plus the stream.  The stream itself is
+deterministic: record order is emission order, and
+:func:`merge_streams` folds per-shard streams into arrival order with
+fixed tie-breaks.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
+
+from repro.common.errors import ConfigError
+
+if TYPE_CHECKING:
+    from repro.traces.slo import SloTracker
+
+__all__ = [
+    "RECORD_KINDS",
+    "SCHEMA_VERSION",
+    "RecordingSubscriber",
+    "TelemetryBus",
+    "TelemetryRecord",
+    "ambient_bus",
+    "capture",
+    "merge_streams",
+    "slo_from_records",
+]
+
+#: version of the record schema written by :mod:`repro.telemetry.sink`;
+#: bump when a kind's fields change incompatibly
+SCHEMA_VERSION = 1
+
+#: every record kind an emitter may produce -> the field names it may
+#: carry (beyond the envelope: ``at``, ``kind``, ``tenant``, ``round``,
+#: ``shard``).  The sink's validator enforces this catalogue.
+RECORD_KINDS: dict[str, tuple[str, ...]] = {
+    # one per replay: the workload/config envelope a reader needs to
+    # reconstruct SLO accounting from the stream alone
+    "replay-start": ("tenants", "horizon", "slo_target_s", "events", "controller"),
+    # one per replay: the final outcome tally, for cross-checking readers
+    "replay-end": ("rounds", "completed", "aborted", "rejected", "shed", "deferred"),
+    # round lifecycle (tenant/round set on all of these)
+    "round-admitted": ("queued_s",),
+    "round-installed": ("updates",),
+    "round-settled": ("queue_wait", "service", "latency", "attained", "deferred"),
+    "round-aborted": ("queue_wait",),
+    "round-rejected": ("reason",),
+    "round-deferred": ("deadline",),
+    "round-shed": ("reason",),
+    # queue-depth sample for the arriving tenant, after its admission
+    # decision (bounded: one per trace arrival)
+    "queue-sample": ("depth", "deferred", "inflight", "limit"),
+    # control plane
+    "controller-tick": ("burn", "pool", "spinning", "limits"),
+    "control-action": ("action", "target", "delta", "reason"),
+    # chaos fault windows and round-scoped faults
+    "chaos-fault": ("fault", "target", "value"),
+    # engine counter snapshot at replay end (one per serving cell/shard)
+    "perf-snapshot": (
+        "events_processed",
+        "heap_pushes",
+        "heap_pops",
+        "dead_timer_skips",
+        "timers_cancelled",
+        "immediate_reuses",
+        "peak_queue_depth",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One typed observation at one instant of virtual time.
+
+    ``tenant``/``round_id`` are -1 when the record is not round-scoped;
+    ``shard`` is -1 until a sharded merge stamps the originating shard.
+    ``fields`` holds the kind-specific payload as a sorted tuple of
+    ``(name, value)`` pairs — hashable, picklable, and JSON-ready.
+    """
+
+    at: float
+    kind: str
+    tenant: int = -1
+    round_id: int = -1
+    shard: int = -1
+    fields: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in RECORD_KINDS:
+            raise ConfigError(
+                f"unknown telemetry record kind {self.kind!r}; "
+                f"have {sorted(RECORD_KINDS)}"
+            )
+        allowed = RECORD_KINDS[self.kind]
+        unknown = [name for name, _ in self.fields if name not in allowed]
+        if unknown:
+            raise ConfigError(
+                f"telemetry record {self.kind!r} carries unknown fields "
+                f"{unknown}; allowed: {list(allowed)}"
+            )
+
+    @property
+    def data(self) -> dict[str, Any]:
+        """The kind-specific payload as a dict."""
+        return dict(self.fields)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        for key, value in self.fields:
+            if key == name:
+                return value
+        return default
+
+
+class TelemetryBus:
+    """Dispatches records to subscribers; inert without any.
+
+    Subscribers are plain callables taking one :class:`TelemetryRecord`.
+    Subscribe *before* handing the bus to an emitter: emitters resolve
+    :meth:`or_none` once at construction, so a bus that is empty at that
+    point stays invisible for the whole run (that is the zero-overhead
+    guarantee, not a limitation).
+    """
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[TelemetryRecord], None]] = []
+
+    def subscribe(self, fn: Callable[[TelemetryRecord], None]) -> Callable[[], None]:
+        """Add a subscriber; returns a zero-argument unsubscribe."""
+        self._subscribers.append(fn)
+
+        def unsubscribe() -> None:
+            if fn in self._subscribers:
+                self._subscribers.remove(fn)
+
+        return unsubscribe
+
+    @property
+    def active(self) -> bool:
+        return bool(self._subscribers)
+
+    def or_none(self) -> "TelemetryBus | None":
+        """This bus, or None when nothing is listening — emitters hold the
+        result so an unsubscribed bus costs one check at construction and
+        nothing afterwards."""
+        return self if self._subscribers else None
+
+    def emit(
+        self,
+        kind: str,
+        at: float,
+        tenant: int = -1,
+        round_id: int = -1,
+        **fields: Any,
+    ) -> None:
+        """Build one record and hand it to every subscriber, in order."""
+        self.publish(
+            TelemetryRecord(
+                at=at,
+                kind=kind,
+                tenant=tenant,
+                round_id=round_id,
+                fields=tuple(sorted(fields.items())),
+            )
+        )
+
+    def publish(self, record: TelemetryRecord) -> None:
+        """Hand an already-built record to every subscriber — the sharded
+        merge uses this to forward shard-stamped records unchanged."""
+        for fn in self._subscribers:
+            fn(record)
+
+
+class RecordingSubscriber:
+    """Collects a stream into a list (shard workers and tests use this)."""
+
+    __slots__ = ("records",)
+
+    def __init__(self, bus: TelemetryBus | None = None) -> None:
+        self.records: list[TelemetryRecord] = []
+        if bus is not None:
+            bus.subscribe(self)
+
+    def __call__(self, record: TelemetryRecord) -> None:
+        self.records.append(record)
+
+
+# ------------------------------------------------------------- ambient bus
+_AMBIENT: list[TelemetryBus] = []
+
+
+def ambient_bus() -> TelemetryBus | None:
+    """The innermost bus installed by :func:`capture`, or None."""
+    return _AMBIENT[-1] if _AMBIENT else None
+
+
+@contextmanager
+def capture(bus: TelemetryBus) -> Iterator[TelemetryBus]:
+    """Install ``bus`` as the ambient bus for the block — replay engines
+    constructed inside pick it up without parameter plumbing (an explicit
+    ``telemetry=`` argument still wins)."""
+    _AMBIENT.append(bus)
+    try:
+        yield bus
+    finally:
+        _AMBIENT.remove(bus)
+
+
+# ----------------------------------------------------------------- streams
+def merge_streams(
+    streams: Sequence[Sequence[TelemetryRecord]],
+) -> list[TelemetryRecord]:
+    """Fold per-shard streams into one, ordered by virtual time.
+
+    Each input stream is already in its shard's emission order; the merge
+    stamps records with their stream index (the ``shard`` field) and
+    stable-sorts by ``at`` — so simultaneous records keep shard order,
+    then per-shard emission order, and the merged stream is a
+    deterministic function of the inputs.
+    """
+    merged: list[TelemetryRecord] = []
+    for shard_id, stream in enumerate(streams):
+        merged.extend(replace(rec, shard=shard_id) for rec in stream)
+    merged.sort(key=lambda rec: rec.at)
+    return merged
+
+
+def slo_from_records(records: Iterable[TelemetryRecord]) -> "SloTracker":
+    """Rebuild a :class:`~repro.traces.slo.SloTracker` from a stream.
+
+    Replays every round outcome (settled / aborted / rejected / shed)
+    into a fresh tracker configured from the stream's ``replay-start``
+    record(s) — the property test pins the result ``report()``-identical
+    to the tracker the engine itself kept, including for merged sharded
+    streams (digest addition is commutative, so record order is
+    irrelevant to the totals).
+    """
+    from repro.traces.slo import SloTracker
+
+    tracker: SloTracker | None = None
+    controller = False
+    pending: list[TelemetryRecord] = []
+
+    def apply(tr: SloTracker, rec: TelemetryRecord) -> None:
+        if rec.kind == "round-settled":
+            tr.observe(
+                rec.get("queue_wait"),
+                rec.get("service"),
+                deferred=bool(rec.get("deferred")),
+                at=rec.at,
+            )
+        elif rec.kind == "round-aborted":
+            tr.abort(at=rec.at)
+        elif rec.kind == "round-rejected":
+            tr.reject(at=rec.at)
+        elif rec.kind == "round-shed":
+            tr.shed(at=rec.at)
+
+    for rec in records:
+        if rec.kind == "replay-start":
+            controller = controller or bool(rec.get("controller"))
+            if tracker is None:
+                tracker = SloTracker(rec.get("slo_target_s"))
+                for queued in pending:
+                    apply(tracker, queued)
+                pending.clear()
+            tracker.controller = controller
+        elif tracker is None:
+            pending.append(rec)
+        else:
+            tracker.controller = controller
+            apply(tracker, rec)
+    if tracker is None:
+        raise ConfigError(
+            "stream carries no replay-start record; cannot rebuild SLO "
+            "accounting without the target"
+        )
+    tracker.controller = controller
+    return tracker

@@ -1,0 +1,190 @@
+"""The schema-versioned JSONL stream format and its validator.
+
+One JSON object per line.  The first line of a file is a **header**::
+
+    {"v": 1, "kind": "stream-header", "schema_version": 1, ...}
+
+then one line per record, flat::
+
+    {"at": 12.5, "kind": "round-settled", "tenant": 0, "round": 7,
+     "shard": -1, "queue_wait": 0.0, "service": 3.2, ...}
+
+Context lines (``run-start``, written by the campaign runner between
+runs) carry the scenario/params envelope so one file can hold a whole
+campaign.  Floats round-trip exactly (Python's ``json`` serializes by
+``repr``), which is what lets :func:`repro.telemetry.bus.slo_from_records`
+rebuild byte-identical SLO totals from a file.
+
+:func:`validate_stream` is the CI smoke's checker: header first,
+schema version supported, every record kind in the catalogue, no unknown
+fields, timestamps numeric and non-negative.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Iterable, Iterator
+
+from repro.common.errors import ConfigError
+from repro.telemetry.bus import RECORD_KINDS, SCHEMA_VERSION, TelemetryRecord
+
+__all__ = [
+    "JsonlSink",
+    "header_obj",
+    "read_jsonl",
+    "record_from_obj",
+    "record_to_obj",
+    "validate_stream",
+]
+
+#: envelope keys every record line carries
+ENVELOPE_KEYS = ("at", "kind", "tenant", "round", "shard")
+#: non-record context line kinds a stream may carry
+CONTEXT_KINDS = ("stream-header", "run-start")
+
+
+def record_to_obj(record: TelemetryRecord) -> dict[str, Any]:
+    """One flat JSON-ready object for one record (envelope + payload)."""
+    obj: dict[str, Any] = {"at": record.at, "kind": record.kind}
+    if record.tenant >= 0:
+        obj["tenant"] = record.tenant
+    if record.round_id >= 0:
+        obj["round"] = record.round_id
+    if record.shard >= 0:
+        obj["shard"] = record.shard
+    obj.update(record.fields)
+    return obj
+
+
+def record_from_obj(obj: dict[str, Any]) -> TelemetryRecord:
+    """The inverse of :func:`record_to_obj` (context lines are refused)."""
+    kind = obj.get("kind")
+    if kind in CONTEXT_KINDS:
+        raise ConfigError(f"line kind {kind!r} is stream context, not a record")
+    fields = tuple(
+        sorted((k, v) for k, v in obj.items() if k not in ENVELOPE_KEYS)
+    )
+    return TelemetryRecord(
+        at=obj["at"],
+        kind=kind,
+        tenant=obj.get("tenant", -1),
+        round_id=obj.get("round", -1),
+        shard=obj.get("shard", -1),
+        fields=fields,
+    )
+
+
+def header_obj(**extra: Any) -> dict[str, Any]:
+    """The stream's first line: schema version + caller context."""
+    obj = {"v": SCHEMA_VERSION, "kind": "stream-header", "schema_version": SCHEMA_VERSION}
+    obj.update(extra)
+    return obj
+
+
+class JsonlSink:
+    """A bus subscriber that appends one JSON line per record.
+
+    Writes the header eagerly on construction so even an empty stream is
+    identifiable.  ``context()`` writes a non-record context line (the
+    campaign runner brackets each run with one).  The sink flushes on
+    every line by default so a live ``watch --follow`` sees records as
+    they happen; pass ``flush_every`` to batch.
+    """
+
+    def __init__(self, fh: IO[str], flush_every: int = 1, **header: Any) -> None:
+        self._fh = fh
+        self._flush_every = max(1, flush_every)
+        self._since_flush = 0
+        self._write(header_obj(**header))
+
+    def _write(self, obj: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(obj, sort_keys=True) + "\n")
+        self._since_flush += 1
+        if self._since_flush >= self._flush_every:
+            self._fh.flush()
+            self._since_flush = 0
+
+    def context(self, kind: str, **fields: Any) -> None:
+        if kind not in CONTEXT_KINDS:
+            raise ConfigError(f"unknown context line kind {kind!r}")
+        self._write({"kind": kind, **fields})
+
+    def write_obj(self, obj: dict[str, Any]) -> None:
+        """Append one pre-serialized record object (the campaign runner's
+        path: workers ship record objects home, the parent writes)."""
+        self._write(obj)
+
+    def __call__(self, record: TelemetryRecord) -> None:
+        self._write(record_to_obj(record))
+
+
+def _iter_lines(path: str) -> Iterator[tuple[int, dict[str, Any]]]:
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            yield lineno, obj
+
+
+def read_jsonl(path: str) -> list[TelemetryRecord]:
+    """Load a stream file's records (header/context lines skipped)."""
+    records = []
+    for _, obj in _iter_lines(path):
+        if obj.get("kind") in CONTEXT_KINDS:
+            continue
+        records.append(record_from_obj(obj))
+    return records
+
+
+def validate_stream(path: str) -> dict[str, int]:
+    """Validate one JSONL stream file; returns ``{kind: count}``.
+
+    Raises :class:`~repro.common.errors.ConfigError` on the first
+    malformed line: missing/failed header, unsupported schema version,
+    unknown record kind, unknown field, or a bad timestamp.  The CI
+    telemetry smoke runs this against a freshly recorded campaign.
+    """
+    counts: dict[str, int] = {}
+    saw_header = False
+    for lineno, obj in _iter_lines(path):
+        kind = obj.get("kind")
+        if not saw_header:
+            if kind != "stream-header":
+                raise ConfigError(f"{path}:{lineno}: first line must be the stream-header")
+            version = obj.get("schema_version")
+            if version != SCHEMA_VERSION:
+                raise ConfigError(
+                    f"{path}:{lineno}: schema_version {version!r} unsupported "
+                    f"(expected {SCHEMA_VERSION})"
+                )
+            saw_header = True
+            continue
+        if kind in CONTEXT_KINDS:
+            counts[kind] = counts.get(kind, 0) + 1
+            continue
+        if kind not in RECORD_KINDS:
+            raise ConfigError(f"{path}:{lineno}: unknown record kind {kind!r}")
+        at = obj.get("at")
+        if not isinstance(at, (int, float)) or at < 0:
+            raise ConfigError(f"{path}:{lineno}: bad timestamp {at!r}")
+        allowed = RECORD_KINDS[kind]
+        unknown = [k for k in obj if k not in ENVELOPE_KEYS and k not in allowed]
+        if unknown:
+            raise ConfigError(
+                f"{path}:{lineno}: record {kind!r} carries unknown fields {unknown}"
+            )
+        counts[kind] = counts.get(kind, 0) + 1
+    if not saw_header:
+        raise ConfigError(f"{path}: empty stream (no header line)")
+    return counts
+
+
+def records_to_objs(records: Iterable[TelemetryRecord]) -> list[dict[str, Any]]:
+    """Serialize a stream to JSON-ready objects (pickle-light transport
+    for campaign workers)."""
+    return [record_to_obj(rec) for rec in records]

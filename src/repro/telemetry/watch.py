@@ -1,0 +1,306 @@
+"""Terminal live view over a telemetry JSONL stream.
+
+``python -m repro.telemetry.watch run.jsonl`` renders one summary frame
+of the stream as recorded; ``--follow`` tails the file and redraws every
+``--interval`` seconds, so a campaign started with ``--telemetry
+run.jsonl`` in another terminal can be watched while it runs.
+
+The state machine is deliberately split from the terminal plumbing:
+:class:`WatchState` consumes raw JSONL objects (envelope + payload, as
+written by :mod:`repro.telemetry.sink`) and :func:`render_frame` turns a
+state into one frame string — both pure, both unit-tested without a TTY.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.telemetry.sink import _iter_lines
+
+#: eight-step unicode ramp for the per-tenant latency sparklines
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+#: clear screen + home — the ``--follow`` redraw prefix
+ANSI_CLEAR = "\x1b[2J\x1b[H"
+
+
+def sparkline(values: list[float], width: int = 24) -> str:
+    """The last ``width`` values as a unicode sparkline (empty input →
+    empty string).  Scaled to the window's own max, so shape survives
+    any unit."""
+    tail = values[-width:]
+    if not tail:
+        return ""
+    top = max(tail)
+    if top <= 0:
+        return _SPARKS[0] * len(tail)
+    return "".join(_SPARKS[min(7, int(v / top * 7.999))] for v in tail)
+
+
+@dataclass
+class TenantView:
+    """What the frame shows per tenant."""
+
+    depth: int = 0
+    deferred: int = 0
+    inflight: int = 0
+    limit: int = 0
+    settled: int = 0
+    attained: int = 0
+    latencies: deque = field(default_factory=lambda: deque(maxlen=64))
+
+
+class WatchState:
+    """Accumulates a telemetry stream into the live view's model.
+
+    Feed it raw JSONL objects in file order; every counter is a pure
+    function of the records seen so far, so a frame rendered mid-file
+    equals a frame of a truncated file.
+    """
+
+    def __init__(self, burn_window_s: float = 120.0) -> None:
+        self.burn_window_s = burn_window_s
+        self.schema_version: int | None = None
+        self.header: dict = {}
+        self.run_label = ""
+        self.now = 0.0
+        self.records = 0
+        self.tenants: dict[int, TenantView] = {}
+        self.settled = 0
+        self.attained = 0
+        self.aborted = 0
+        self.rejected = 0
+        self.shed = 0
+        self.deferred = 0
+        #: (at, attained) outcomes inside the sliding burn window
+        self._burn: deque = deque()
+        self.last_tick: dict | None = None
+        self.actions: deque = deque(maxlen=6)
+        self.recent_faults: deque = deque(maxlen=6)
+        #: chaos windows currently open: partition target -> opened at
+        self.open_partitions: dict[str, float] = {}
+        #: degraded nodes: node -> factor (slow-node / nic-rescale != 1.0)
+        self.degraded: dict[str, float] = {}
+        self.perf: dict | None = None
+
+    # ------------------------------------------------------------- feed
+    def feed(self, obj: dict) -> None:
+        kind = obj.get("kind")
+        if kind == "stream-header":
+            self.schema_version = obj.get("schema_version")
+            self.header = {
+                k: v for k, v in obj.items() if k not in ("v", "kind", "schema_version")
+            }
+            return
+        if kind == "run-start":
+            params = obj.get("params") or {}
+            grid = ",".join(f"{k}={v}" for k, v in params.items())
+            self.run_label = f"{obj.get('scenario')}[{obj.get('index')}] {grid}".strip()
+            return
+        self.records += 1
+        at = float(obj.get("at", 0.0))
+        self.now = max(self.now, at)
+        tenant = int(obj.get("tenant", -1))
+        if kind == "queue-sample":
+            view = self.tenants.setdefault(tenant, TenantView())
+            view.depth = int(obj.get("depth", 0))
+            view.deferred = int(obj.get("deferred", 0))
+            view.inflight = int(obj.get("inflight", 0))
+            view.limit = int(obj.get("limit", 0))
+        elif kind == "round-settled":
+            view = self.tenants.setdefault(tenant, TenantView())
+            view.settled += 1
+            view.latencies.append(float(obj.get("latency", 0.0)))
+            self.settled += 1
+            hit = bool(obj.get("attained"))
+            view.attained += hit
+            self.attained += hit
+            self._burn.append((at, hit))
+            self._trim_burn(at)
+        elif kind == "round-aborted":
+            self.aborted += 1
+            self._burn.append((at, False))
+            self._trim_burn(at)
+        elif kind == "round-rejected":
+            self.rejected += 1
+        elif kind == "round-shed":
+            self.shed += 1
+        elif kind == "round-deferred":
+            self.deferred += 1
+        elif kind == "controller-tick":
+            self.last_tick = obj
+        elif kind == "control-action":
+            self.actions.append(obj)
+        elif kind == "chaos-fault":
+            self._feed_fault(obj, at)
+        elif kind == "perf-snapshot":
+            self.perf = obj
+
+    def _feed_fault(self, obj: dict, at: float) -> None:
+        fault = obj.get("fault", "")
+        target = str(obj.get("target", ""))
+        value = float(obj.get("value", 0.0))
+        self.recent_faults.append(obj)
+        if fault == "partition":
+            self.open_partitions[target] = at
+        elif fault == "heal":
+            # a heal names the nodes it rejoins; close any partition
+            # window whose node set it covers
+            healed = set(target.split(","))
+            for key in [
+                k for k in self.open_partitions if set(k.split(",")) <= healed
+            ]:
+                del self.open_partitions[key]
+        elif fault in ("slow-node", "nic-rescale"):
+            if value == 1.0:
+                self.degraded.pop(target, None)
+            else:
+                self.degraded[target] = value
+
+    def _trim_burn(self, now: float) -> None:
+        floor = now - self.burn_window_s
+        while self._burn and self._burn[0][0] < floor:
+            self._burn.popleft()
+
+    # ------------------------------------------------------------ derive
+    @property
+    def burn(self) -> float:
+        """Fraction of window-recent round outcomes that missed the SLO."""
+        if not self._burn:
+            return 0.0
+        misses = sum(1 for _, hit in self._burn if not hit)
+        return misses / len(self._burn)
+
+
+def render_frame(state: WatchState) -> str:
+    """One frame of the live view, as a plain string (no ANSI inside —
+    the follow loop owns the screen)."""
+    lines = []
+    seed = state.header.get("campaign_seed")
+    head = f"telemetry watch — schema v{state.schema_version}"
+    if seed is not None:
+        head += f" — campaign seed {seed}"
+    lines.append(head)
+    if state.run_label:
+        lines.append(f"run: {state.run_label}")
+    pct = state.attained / state.settled if state.settled else 0.0
+    lines.append(
+        f"now {state.now:8.1f}s virtual   {state.records} records   "
+        f"rounds: {state.settled} settled / {state.aborted} aborted / "
+        f"{state.rejected} rejected / {state.shed} shed / {state.deferred} deferred"
+    )
+    lines.append(
+        f"slo: {pct:.1%} attained ({state.attained}/{state.settled})   "
+        f"burn {state.burn:.3f} over last {state.burn_window_s:.0f}s"
+    )
+    if state.tenants:
+        lines.append("")
+        lines.append("tenant  depth  defer  inflight  attained          latency")
+        for tenant in sorted(state.tenants):
+            view = state.tenants[tenant]
+            share = view.attained / view.settled if view.settled else 0.0
+            inflight = f"{view.inflight}/{view.limit}" if view.limit else str(view.inflight)
+            lines.append(
+                f"  t{tenant:<4} {view.depth:>5} {view.deferred:>6}  {inflight:>8}  "
+                f"{view.attained:>4}/{view.settled:<4} {share:>6.1%}  "
+                f"{sparkline(list(view.latencies))}"
+            )
+    if state.last_tick is not None:
+        tick = state.last_tick
+        lines.append("")
+        lines.append(
+            f"controller: pool {tick.get('pool')}  spinning {tick.get('spinning')}  "
+            f"limits {tick.get('limits')}  burn {tick.get('burn'):.3f}"
+        )
+        for act in state.actions:
+            lines.append(
+                f"  {act.get('at', 0.0):8.1f}s  {act.get('action')} "
+                f"{act.get('target')} delta={act.get('delta')} ({act.get('reason')})"
+            )
+    if state.recent_faults or state.open_partitions or state.degraded:
+        lines.append("")
+        open_parts = ", ".join(sorted(state.open_partitions)) or "none"
+        slow = (
+            ", ".join(f"{n}×{f:g}" for n, f in sorted(state.degraded.items())) or "none"
+        )
+        lines.append(f"chaos: open partitions: {open_parts}   degraded: {slow}")
+        for fault in state.recent_faults:
+            lines.append(
+                f"  {fault.get('at', 0.0):8.1f}s  {fault.get('fault')} "
+                f"{fault.get('target')} value={fault.get('value'):g}"
+            )
+    if state.perf is not None:
+        perf = state.perf
+        lines.append("")
+        lines.append(
+            f"engine: {perf.get('events_processed')} events, "
+            f"{perf.get('heap_pushes')} pushes, "
+            f"{perf.get('dead_timer_skips')} dead skips, "
+            f"peak queue {perf.get('peak_queue_depth')}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _follow(path: str, interval: float, burn_window_s: float) -> int:
+    """Tail ``path``, redrawing a frame whenever new lines arrive."""
+    state = WatchState(burn_window_s=burn_window_s)
+    offset = 0
+    while True:
+        grew = False
+        try:
+            with open(path, encoding="utf-8") as fh:
+                fh.seek(offset)
+                for line in fh:
+                    if not line.endswith("\n"):
+                        break  # partial write; re-read next pass
+                    offset += len(line.encode("utf-8"))
+                    if line.strip():
+                        state.feed(json.loads(line))
+                        grew = True
+        except FileNotFoundError:
+            pass
+        if grew:
+            sys.stdout.write(ANSI_CLEAR + render_frame(state))
+            sys.stdout.flush()
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.watch",
+        description="Render a live summary of a telemetry JSONL stream.",
+    )
+    parser.add_argument("path", metavar="FILE", help="telemetry JSONL stream")
+    parser.add_argument(
+        "--follow", action="store_true", help="tail the file and redraw (ctrl-c stops)"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=0.5, metavar="S", help="redraw period (default 0.5s)"
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="burn-rate sliding window in virtual seconds (default 120)",
+    )
+    args = parser.parse_args(argv[1:])
+    if args.follow:
+        return _follow(args.path, args.interval, args.window)
+    state = WatchState(burn_window_s=args.window)
+    for _, obj in _iter_lines(args.path):
+        state.feed(obj)
+    sys.stdout.write(render_frame(state))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

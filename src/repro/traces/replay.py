@@ -62,6 +62,7 @@ from repro.common.rng import RngRegistry, make_rng
 from repro.common.units import RESNET18_BYTES
 from repro.core.policies import AdmissionContext, SelectionContext, resolve_policy
 from repro.sim.engine import Environment, Process
+from repro.telemetry.bus import ambient_bus
 from repro.traces.models import AvailabilityTrace, Trace
 from repro.traces.slo import SloTracker
 
@@ -74,6 +75,7 @@ if TYPE_CHECKING:  # import-light: replay only needs these for typing
     from repro.fl.client import FLClient
     from repro.fl.population import ClientPopulation
     from repro.fl.selector import Selector
+    from repro.telemetry.bus import TelemetryBus
     from repro.traces.shard import ShardedReplayResult
 
 __all__ = ["ChaosCorrelation", "ReplayConfig", "ReplayResult", "RoundRecord", "TraceReplayEngine"]
@@ -274,6 +276,7 @@ class TraceReplayEngine:
         population: "ClientPopulation | None" = None,
         controller: "ControllerConfig | None" = None,
         fault_plan: "FaultPlan | None" = None,
+        telemetry: "TelemetryBus | None" = None,
     ) -> None:
         if platform is None and platform_factory is None:
             raise ConfigError("replay needs a platform or a platform_factory")
@@ -338,6 +341,12 @@ class TraceReplayEngine:
                     "ChaosCorrelation or FaultInjector.install()"
                 )
         self.seed = seed
+        #: the telemetry bus this replay emits into: an explicit argument
+        #: wins, else the ambient bus a ``capture()`` block installed, else
+        #: None — and a bus nobody subscribed to drops to None at run
+        #: start, so the serving loop pays nothing per event (see
+        #: :mod:`repro.telemetry.bus`)
+        self.telemetry = telemetry if telemetry is not None else ambient_bus()
         #: one registry per replay: per-round participant streams and the
         #: policies' bound streams all derive from the replay seed
         self._rngs = RngRegistry(seed)
@@ -471,18 +480,23 @@ class TraceReplayEngine:
                 population=self.population,
                 controller=self.controller_config,
                 fault_plan=self.fault_plan,
+                telemetry=self.telemetry,
             ).run(inline=inline)
         if self.platform is None:
             self.platform = self.platform_factory()
         cfg = self.config
         ctl_cfg = self.controller_config
+        #: None unless someone is listening — every emission site below is
+        #: guarded on this local, so an unsubscribed replay does no
+        #: telemetry work at all
+        tel = self.telemetry.or_none() if self.telemetry is not None else None
         engine = self.platform.engine
         env = Environment()
         fabric = engine.build_fabric(env)
         if self.fault_plan is not None:
             from repro.chaos import FaultInjector
 
-            FaultInjector(self.fault_plan).install_fabric(env, fabric)
+            FaultInjector(self.fault_plan, telemetry=tel).install_fabric(env, fabric)
         admission = self._admission
         defer_deadline_s = self._defer_deadline_s
         if ctl_cfg is None:
@@ -514,10 +528,30 @@ class TraceReplayEngine:
         #: terminal outcomes seen (reject/shed/abort/complete); the
         #: controller's tick loop ends when every trace event has one
         done = [0]
+        if tel is not None:
+            # The stream's self-describing prologue: everything a reader
+            # needs to rebuild SLO accounting from the records alone.
+            tel.emit(
+                "replay-start",
+                0.0,
+                tenants=n_tenants,
+                horizon=self.trace.horizon,
+                slo_target_s=cfg.slo_target_s,
+                events=len(self.trace.events),
+                controller=tracker.controller,
+            )
 
         def _shed(rec: RoundRecord, reason: str) -> None:
             rec.shed = True
             tracker.shed(at=env.now)
+            if tel is not None:
+                tel.emit(
+                    "round-shed",
+                    env.now,
+                    tenant=rec.tenant,
+                    round_id=rec.round_id,
+                    reason=reason,
+                )
             if controller is not None:
                 controller._record(
                     env.now, "shed", f"t{rec.tenant}r{rec.round_id}", 0, reason
@@ -553,6 +587,14 @@ class TraceReplayEngine:
                 admit(queue.popleft())
 
         def admit(rec: RoundRecord) -> None:
+            if tel is not None:
+                tel.emit(
+                    "round-admitted",
+                    env.now,
+                    tenant=rec.tenant,
+                    round_id=rec.round_id,
+                    queued_s=max(0.0, env.now - rec.arrival_at),
+                )
             inflight[rec.tenant] += 1
             total = sum(inflight)
             if total > result.peak_inflight:
@@ -594,10 +636,18 @@ class TraceReplayEngine:
 
         def _install(rec: RoundRecord, updates, plan) -> None:
             rec.admit_at = env.now
+            if tel is not None:
+                tel.emit(
+                    "round-installed",
+                    env.now,
+                    tenant=rec.tenant,
+                    round_id=rec.round_id,
+                    updates=rec.updates,
+                )
             tenant_round = engine.install_round(
                 env, fabric, updates, plan, label=f"t{rec.tenant}r{rec.round_id}"
             )
-            self._maybe_inject(env, fabric, engine, rec, tenant_round, result)
+            self._maybe_inject(env, fabric, engine, rec, tenant_round, result, tel)
             if controller is not None and ctl_cfg.round_deadline_s > 0:
                 deadline_s = ctl_cfg.round_deadline_s
 
@@ -629,19 +679,49 @@ class TraceReplayEngine:
                 result.cost_cpu_s += res.cpu_total
                 if rec.aborted:
                     tracker.abort(at=env.now)
+                    if tel is not None:
+                        tel.emit(
+                            "round-aborted",
+                            env.now,
+                            tenant=rec.tenant,
+                            round_id=rec.round_id,
+                            queue_wait=rec.queue_wait,
+                        )
                 else:
                     tracker.observe(
                         rec.queue_wait, rec.service, deferred=rec.deferred, at=env.now
                     )
+                    if tel is not None:
+                        # Exactly the values the tracker just ingested, so
+                        # slo_from_records rebuilds bit-identical digests.
+                        tel.emit(
+                            "round-settled",
+                            env.now,
+                            tenant=rec.tenant,
+                            round_id=rec.round_id,
+                            queue_wait=rec.queue_wait,
+                            service=rec.service,
+                            latency=rec.latency,
+                            attained=rec.latency <= cfg.slo_target_s,
+                            deferred=rec.deferred,
+                        )
                 done[0] += 1
                 inflight[rec.tenant] -= 1
                 _drain(rec.tenant)
 
             tenant_round.top_done.callbacks.append(settled)
 
-        def _reject(rec: RoundRecord) -> None:
+        def _reject(rec: RoundRecord, reason: str = "queue-full") -> None:
             rec.rejected = True
             tracker.reject(at=env.now)
+            if tel is not None:
+                tel.emit(
+                    "round-rejected",
+                    env.now,
+                    tenant=rec.tenant,
+                    round_id=rec.round_id,
+                    reason=reason,
+                )
             done[0] += 1
 
         def _apply_admission(rec: RoundRecord) -> None:
@@ -665,7 +745,16 @@ class TraceReplayEngine:
                 pending[t].append(rec)
             elif decision == "defer":
                 rec.deferred = True
-                deferred[t].append((rec, env.now + defer_deadline_s))
+                deadline = env.now + defer_deadline_s
+                deferred[t].append((rec, deadline))
+                if tel is not None:
+                    tel.emit(
+                        "round-deferred",
+                        env.now,
+                        tenant=t,
+                        round_id=rec.round_id,
+                        deadline=deadline,
+                    )
                 if controller is not None:
                     controller._record(
                         env.now, "defer", f"t{t}r{rec.round_id}", 0, "queue full"
@@ -674,7 +763,7 @@ class TraceReplayEngine:
                 # Head drop: the queue's oldest waiter bounces (a rejection
                 # — it never got served) and the newcomer takes its place.
                 if pending[t]:
-                    _reject(pending[t].popleft())
+                    _reject(pending[t].popleft(), reason="evicted-oldest")
                 pending[t].append(rec)
             elif decision == "reject":
                 _reject(rec)
@@ -702,11 +791,24 @@ class TraceReplayEngine:
                 _promote(ev.tenant)
                 if not participants:
                     # Nobody available: the service cannot form the round.
-                    _reject(rec)
+                    _reject(rec, reason="no-participants")
                 elif inflight[ev.tenant] < limits[ev.tenant]:
                     admit(rec)
                 else:
                     _apply_admission(rec)
+                if tel is not None:
+                    # One bounded queue-depth sample per trace arrival, for
+                    # the arriving tenant, after its admission decision.
+                    t = ev.tenant
+                    tel.emit(
+                        "queue-sample",
+                        env.now,
+                        tenant=t,
+                        depth=len(pending[t]),
+                        deferred=len(deferred[t]),
+                        inflight=inflight[t],
+                        limit=limits[t],
+                    )
 
         controller = None
         if ctl_cfg is not None:
@@ -739,6 +841,7 @@ class TraceReplayEngine:
                 queue_depth=lambda t: len(pending[t]) + len(deferred[t]),
                 on_limit_raised=_drain,
                 sweep_deferred=_sweep,
+                telemetry=tel,
             )
             controller.instances_per_round = leaves + 1
             limits = controller.limits
@@ -758,10 +861,28 @@ class TraceReplayEngine:
             while deferred[t]:
                 rec, _ = deferred[t].popleft()
                 _shed(rec, "replay ended")
+        if tel is not None:
+            from repro.perf.counters import snapshot
+
+            tel.emit(
+                "replay-end",
+                env.now,
+                rounds=len(records),
+                completed=sum(
+                    1 for r in records if not (r.aborted or r.rejected or r.shed)
+                ),
+                aborted=sum(1 for r in records if r.aborted),
+                rejected=sum(1 for r in records if r.rejected),
+                shed=sum(1 for r in records if r.shed),
+                deferred=sum(1 for r in records if r.deferred),
+            )
+            tel.emit("perf-snapshot", env.now, **snapshot(env))
         return result
 
     # ----------------------------------------------------------------- chaos
-    def _maybe_inject(self, env, fabric, engine, rec, tenant_round, result) -> None:
+    def _maybe_inject(
+        self, env, fabric, engine, rec, tenant_round, result, tel=None
+    ) -> None:
         """Attach a dropout wave to rounds admitted during availability
         dips (fraction scales with dip depth; seeded by round identity)."""
         chaos = self.chaos
@@ -786,7 +907,7 @@ class TraceReplayEngine:
             dropouts=(DropoutWave(at=env.now + chaos.wave_delay_s, fraction=frac),),
             recovery_policy=chaos.recovery_policy,
         )
-        FaultInjector(plan).install(
+        FaultInjector(plan, telemetry=tel).install(
             env=env, fabric=fabric, engine=engine, tenants=[tenant_round]
         )
         rec.chaos_fraction = frac

@@ -10,6 +10,8 @@ Usage::
     python -m repro.traces.report results/                 # whole dir
     python -m repro.traces.report results/trace-poisson-slo.json
     python -m repro.traces.report results/ --slo-target 20  # re-score
+    python -m repro.traces.report results/ --html report.html \\
+        --telemetry run.jsonl --bench BENCH_engine.json     # HTML report
 """
 
 from __future__ import annotations
@@ -187,15 +189,50 @@ def main(argv: list[str]) -> int:
         help="append a cross-scenario ranking of cost-tracked rows "
         "(tournament mode); choices: attainment_per_cost",
     )
+    parser.add_argument(
+        "--html",
+        default=None,
+        metavar="FILE",
+        help="also write a standalone HTML report (tables, outcome bars, "
+        "attainment curves, timelines)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="telemetry JSONL stream to chart in the HTML report",
+    )
+    parser.add_argument(
+        "--bench",
+        default=None,
+        metavar="FILE",
+        help="BENCH_*.json trajectory to sparkline in the HTML report",
+    )
     args = parser.parse_args(argv[1:])
     docs = _load_docs(args.path)
-    if not docs:
+    if not docs and not (args.html and (args.telemetry or args.bench)):
         print(f"no campaign JSON found under {args.path}")
         return 2
-    print(render_slo_report(docs, slo_target=args.slo_target))
-    if args.rank_by:
+    if docs:
+        print(render_slo_report(docs, slo_target=args.slo_target))
+    if args.rank_by and docs:
         print()
         print(render_ranking(docs, args.rank_by))
+    if args.html:
+        from repro.telemetry.html import build_report
+        from repro.telemetry.sink import _iter_lines
+
+        telemetry = (
+            [obj for _, obj in _iter_lines(args.telemetry)] if args.telemetry else None
+        )
+        bench = None
+        if args.bench:
+            with open(args.bench, encoding="utf-8") as fh:
+                bench = json.load(fh)
+        page = build_report(docs, telemetry=telemetry, bench=bench)
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(page)
+        print(f"HTML report written to {args.html}")
     return 0
 
 

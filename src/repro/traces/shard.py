@@ -50,6 +50,7 @@ import os
 import time
 import traceback
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 from typing import TYPE_CHECKING, Callable
 
 from repro.common.errors import ConfigError
@@ -58,6 +59,13 @@ from repro.core.partition import CohortPlan, plan_cohorts  # noqa: F401 - re-exp
 # down, in repro.core.partition) splits a single round's *cohort* across
 # worker processes along the HierarchyPlan boundary.
 from repro.perf.counters import COUNTER_FIELDS, EngineCounters, collect, maybe_register
+from repro.telemetry.bus import (
+    RecordingSubscriber,
+    TelemetryBus,
+    TelemetryRecord,
+    ambient_bus,
+    merge_streams,
+)
 from repro.traces.models import Trace
 from repro.traces.replay import ReplayConfig, ReplayResult, TraceReplayEngine
 from repro.traces.slo import SloTracker
@@ -169,6 +177,10 @@ class ShardReport:
     counters: dict[str, int]
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
+    #: the shard's telemetry stream, in its emission order (empty unless
+    #: the sharded engine is streaming); records are picklable, so forked
+    #: workers ship them home with the rest of the report
+    telemetry: list[TelemetryRecord] = dataclass_field(default_factory=list)
 
 
 @dataclass
@@ -243,6 +255,7 @@ class ShardedReplayEngine:
         population: "ClientPopulation | None" = None,
         controller: "ControllerConfig | None" = None,
         fault_plan: "FaultPlan | None" = None,
+        telemetry: TelemetryBus | None = None,
     ) -> None:
         if not callable(platform_factory):
             raise ConfigError("platform_factory must be callable")
@@ -266,6 +279,15 @@ class ShardedReplayEngine:
         #: per-shard ticks stay deterministic and the reports merge
         self.controller = controller
         self.fault_plan = fault_plan
+        #: parent-side telemetry bus (explicit argument or the ambient
+        #: capture); shards never touch it directly — each shard records
+        #: into a fresh private bus and the parent re-publishes the merged,
+        #: shard-stamped stream after the workers return, so file-handle
+        #: subscribers are never invoked from a forked child
+        self.telemetry = telemetry if telemetry is not None else ambient_bus()
+        #: set per run(): shards record their streams only when someone is
+        #: actually subscribed on the parent side
+        self._stream_shards = False
 
     # ------------------------------------------------------------------ run
     def run(self, inline: bool = False) -> ShardedReplayResult:
@@ -279,10 +301,13 @@ class ShardedReplayEngine:
         the sub-trace split and all seeding are decided before execution
         mode, and each shard builds its own platform either way.
         """
+        tel = self.telemetry.or_none() if self.telemetry is not None else None
+        self._stream_shards = tel is not None
         plan = plan_shards(self.trace, self.shards)
         if plan.n_shards == 0:
             # An empty trace: one empty replay keeps the report shape.
             report = self._run_shard(0, self.trace)
+            self._publish_streams(tel, [report])
             return ShardedReplayResult(
                 merged=report.result, shards=[report], forked=False
             )
@@ -300,6 +325,7 @@ class ShardedReplayEngine:
                 maybe_register(_ShardCounters(f"shard{rep.shard}", rep.counters))
         else:
             reports = [self._run_shard(i, sub, tenants) for i, sub, tenants in tasks]
+        self._publish_streams(tel, reports)
         return ShardedReplayResult(
             merged=self._merge(reports),
             shards=reports,
@@ -307,13 +333,34 @@ class ShardedReplayEngine:
             workers=n_workers if fork else 1,
         )
 
+    def _publish_streams(
+        self, tel: TelemetryBus | None, reports: "list[ShardReport]"
+    ) -> None:
+        """Fold the shards' recorded streams into arrival order (stamping
+        each record's shard) and forward them to the parent's subscribers."""
+        if tel is None:
+            return
+        ordered = sorted(reports, key=lambda r: r.shard)
+        for rec in merge_streams([rep.telemetry for rep in ordered]):
+            tel.publish(rec)
+
     # ---------------------------------------------------------------- workers
     def _run_shard(
         self, shard_id: int, sub: Trace, tenants: tuple[int, ...] = ()
     ) -> ShardReport:
-        """Replay one shard in the current process, collecting counters."""
+        """Replay one shard in the current process, collecting counters.
+
+        The shard always gets its own private bus (never the parent's):
+        when streaming it records into a plain list shipped home in the
+        report, and when not it blocks any ambient bus from reaching the
+        child replay — the parent owns all subscriber-facing emission.
+        """
         wall0 = time.perf_counter()
         cpu0 = time.process_time()
+        shard_bus = TelemetryBus()
+        recorder = (
+            RecordingSubscriber(shard_bus) if self._stream_shards else None
+        )
         with collect() as perf:
             engine = TraceReplayEngine(
                 self.platform_factory(),
@@ -328,6 +375,7 @@ class ShardedReplayEngine:
                 population=self.population,
                 controller=self.controller,
                 fault_plan=self.fault_plan,
+                telemetry=shard_bus,
             )
             result = engine.run()
         return ShardReport(
@@ -337,6 +385,7 @@ class ShardedReplayEngine:
             counters=perf.counters().as_dict(),
             wall_seconds=time.perf_counter() - wall0,
             cpu_seconds=time.process_time() - cpu0,
+            telemetry=recorder.records if recorder is not None else [],
         )
 
     def _run_forked(

@@ -46,7 +46,10 @@ def test_docs_exist_and_anchor_the_new_subsystem():
         ("docs/scenario-authoring.md", "example-round-sweep"),
         ("docs/scenario-authoring.md", "Registering a custom policy"),
         ("docs/scenario-authoring.md", "freshest-first"),
+        ("docs/architecture.md", "TelemetryBus"),
+        ("docs/scenario-authoring.md", "ambient_bus"),
         ("README.md", "repro.core.policies"),
+        ("README.md", "repro.telemetry"),
     ):
         path = os.path.join(REPO, rel)
         assert os.path.exists(path), rel

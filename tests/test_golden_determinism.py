@@ -200,12 +200,19 @@ def test_figure_scenarios_golden_json_seq_vs_parallel(tmp_path):
     invisible to the paper reproduction.  The ``overhead`` scenario is
     the one exception: it stopwatch-times real placement calls, so its
     ``measured_ms`` readings move with machine load; everything else in
-    its JSON (operations, budgets, structure) must still match."""
+    its JSON (operations, budgets, structure) must still match.
+
+    The sequential campaign runs under an ambient (but unsubscribed)
+    telemetry bus, so the same equality assertions also pin the bus's
+    zero-overhead guarantee across every figure experiment."""
     import json
 
-    seq, seq_result = _campaign_json(
-        tmp_path, "fig-seq", jobs=1, profile=False, scenarios=FIGURE_SCENARIOS
-    )
+    from repro.telemetry.bus import TelemetryBus, capture
+
+    with capture(TelemetryBus()):
+        seq, seq_result = _campaign_json(
+            tmp_path, "fig-seq", jobs=1, profile=False, scenarios=FIGURE_SCENARIOS
+        )
     par, par_result = _campaign_json(
         tmp_path, "fig-par", jobs=4, profile=False, scenarios=FIGURE_SCENARIOS
     )

@@ -1,0 +1,311 @@
+"""The telemetry bus, the JSONL sink, and the streams' exactness.
+
+The two properties this file pins are the tentpole guarantees:
+
+* **zero overhead when unused** — a replay run with the bus importable
+  (even installed as ambient, even handed in explicitly) but without a
+  subscriber produces byte-identical results to a plain run, and a
+  *subscribed* run still produces byte-identical results in everything
+  except the stream it writes;
+* **exactness** — the JSONL stream alone, after a round-trip through
+  disk, rebuilds the engine's own SLO accounting ``report()``-identical,
+  unsharded and at ``shards=4`` (merged per-shard streams).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments.trace_scenarios import _diurnal_replay
+from repro.telemetry.bus import (
+    RECORD_KINDS,
+    RecordingSubscriber,
+    TelemetryBus,
+    TelemetryRecord,
+    ambient_bus,
+    capture,
+    merge_streams,
+    slo_from_records,
+)
+from repro.telemetry.sink import (
+    JsonlSink,
+    read_jsonl,
+    record_from_obj,
+    record_to_obj,
+    records_to_objs,
+    validate_stream,
+)
+
+SEED = 5
+
+
+# ------------------------------------------------------------------ records
+def test_record_refuses_unknown_kind_and_fields():
+    with pytest.raises(ConfigError):
+        TelemetryRecord(at=0.0, kind="not-a-kind")
+    with pytest.raises(ConfigError):
+        TelemetryRecord(at=0.0, kind="round-settled", fields=(("bogus", 1),))
+
+
+def test_record_data_and_get():
+    rec = TelemetryRecord(
+        at=1.5, kind="round-settled", tenant=2, round_id=7,
+        fields=(("latency", 3.0), ("service", 2.0)),
+    )
+    assert rec.data == {"latency": 3.0, "service": 2.0}
+    assert rec.get("latency") == 3.0
+    assert rec.get("missing", 9) == 9
+
+
+def test_every_catalogue_kind_constructs():
+    for kind, fields in RECORD_KINDS.items():
+        rec = TelemetryRecord(at=0.0, kind=kind, fields=tuple((f, 0) for f in fields))
+        assert rec.kind == kind
+
+
+# -------------------------------------------------------------------- bus
+def test_bus_or_none_and_subscribe_cycle():
+    bus = TelemetryBus()
+    assert bus.or_none() is None and not bus.active
+    seen = []
+    unsubscribe = bus.subscribe(seen.append)
+    assert bus.or_none() is bus and bus.active
+    bus.emit("round-shed", 1.0, tenant=0, round_id=3, reason="overload")
+    assert [r.kind for r in seen] == ["round-shed"]
+    assert seen[0].tenant == 0 and seen[0].round_id == 3
+    unsubscribe()
+    assert bus.or_none() is None
+    bus.emit("round-shed", 2.0, reason="overload")
+    assert len(seen) == 1
+
+
+def test_ambient_capture_nests_and_restores():
+    assert ambient_bus() is None
+    outer, inner = TelemetryBus(), TelemetryBus()
+    with capture(outer):
+        assert ambient_bus() is outer
+        with capture(inner):
+            assert ambient_bus() is inner
+        assert ambient_bus() is outer
+    assert ambient_bus() is None
+
+
+# ------------------------------------------------------------------- sink
+def test_record_obj_round_trip_omits_unset_envelope():
+    rec = TelemetryRecord(at=2.5, kind="queue-sample", tenant=1,
+                          fields=(("deferred", 0), ("depth", 4), ("inflight", 2), ("limit", 8)))
+    obj = record_to_obj(rec)
+    assert "round" not in obj and "shard" not in obj and obj["tenant"] == 1
+    assert record_from_obj(obj) == rec
+
+
+def test_record_from_obj_refuses_context_lines():
+    with pytest.raises(ConfigError):
+        record_from_obj({"kind": "stream-header", "at": 0.0})
+
+
+def test_jsonl_sink_and_validator(tmp_path):
+    path = tmp_path / "s.jsonl"
+    with open(path, "w", encoding="utf-8") as fh:
+        sink = JsonlSink(fh, run="unit")
+        sink.context("run-start", scenario="x", index=0)
+        sink(TelemetryRecord(at=0.5, kind="round-shed", tenant=0, fields=(("reason", "r"),)))
+    lines = path.read_text().splitlines()
+    assert json.loads(lines[0])["kind"] == "stream-header"
+    assert json.loads(lines[0])["run"] == "unit"
+    counts = validate_stream(str(path))
+    assert counts == {"run-start": 1, "round-shed": 1}
+    assert [r.kind for r in read_jsonl(str(path))] == ["round-shed"]
+
+
+@pytest.mark.parametrize(
+    "lines, message",
+    [
+        ([], "empty stream"),
+        (['{"kind": "round-shed", "at": 1.0}'], "first line must be"),
+        (['{"kind": "stream-header", "schema_version": 99}'], "unsupported"),
+        (
+            ['{"kind": "stream-header", "schema_version": 1}',
+             '{"kind": "mystery", "at": 1.0}'],
+            "unknown record kind",
+        ),
+        (
+            ['{"kind": "stream-header", "schema_version": 1}',
+             '{"kind": "round-shed", "at": -3.0, "reason": "r"}'],
+            "bad timestamp",
+        ),
+        (
+            ['{"kind": "stream-header", "schema_version": 1}',
+             '{"kind": "round-shed", "at": 1.0, "bogus": 1}'],
+            "unknown fields",
+        ),
+    ],
+)
+def test_validator_rejects_malformed_streams(tmp_path, lines, message):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("".join(line + "\n" for line in lines))
+    with pytest.raises(ConfigError, match=message):
+        validate_stream(str(path))
+
+
+# ----------------------------------------------------------- merge_streams
+def test_merge_streams_stamps_shards_and_orders_by_time():
+    def rec(at):
+        return TelemetryRecord(at=at, kind="round-shed", fields=(("reason", "r"),))
+
+    merged = merge_streams([[rec(3.0), rec(5.0)], [rec(1.0), rec(3.0)]])
+    assert [r.at for r in merged] == [1.0, 3.0, 3.0, 5.0]
+    # stable sort: the at=3.0 tie keeps stream (shard) order
+    assert [r.shard for r in merged] == [1, 0, 1, 0]
+
+
+# ---------------------------------------------------- zero-overhead pins
+def _timeline_key(result):
+    return [
+        (r.tenant, r.round_id, r.arrival_at, r.admit_at, r.complete_at, r.latency,
+         r.aborted, r.rejected, r.shed, r.deferred, tuple(r.participants))
+        for r in result.records
+    ]
+
+
+def test_unsubscribed_bus_is_invisible_to_the_replay():
+    plain = _diurnal_replay("LIFL", seed=SEED).run()
+    with capture(TelemetryBus()):  # ambient, importable, but nobody listens
+        ambient = _diurnal_replay("LIFL", seed=SEED).run()
+    explicit = _diurnal_replay("LIFL", seed=SEED)
+    explicit.telemetry = TelemetryBus()
+    handed = explicit.run()
+    assert _timeline_key(plain) == _timeline_key(ambient) == _timeline_key(handed)
+    assert plain.slo.report() == ambient.slo.report() == handed.slo.report()
+
+
+def test_subscribed_bus_changes_nothing_but_produces_the_stream():
+    plain = _diurnal_replay("LIFL", seed=SEED).run()
+    bus = TelemetryBus()
+    recorder = RecordingSubscriber(bus)
+    with capture(bus):
+        watched = _diurnal_replay("LIFL", seed=SEED).run()
+    assert _timeline_key(plain) == _timeline_key(watched)
+    assert plain.slo.report() == watched.slo.report()
+    kinds = {r.kind for r in recorder.records}
+    assert {"replay-start", "replay-end", "round-admitted", "round-installed",
+            "round-settled", "queue-sample", "perf-snapshot"} <= kinds
+    settled = [r for r in recorder.records if r.kind == "round-settled"]
+    assert len(settled) == len(plain.records)
+    # emission order is virtual-time order for the single-shard engine
+    assert [r.at for r in recorder.records] == sorted(r.at for r in recorder.records)
+
+
+# --------------------------------------------------------------- exactness
+def _recorded_stream(shards: int):
+    bus = TelemetryBus()
+    recorder = RecordingSubscriber(bus)
+    with capture(bus):
+        result = _diurnal_replay("LIFL", seed=SEED).run(shards=shards)
+    slo = result.slo if shards == 1 else result.merged.slo
+    return recorder.records, slo
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_stream_rebuilds_exact_slo_report_through_disk(tmp_path, shards):
+    """The acceptance pin: a recorded stream, serialized to JSONL and read
+    back, reproduces the engine's own SLO report exactly — including the
+    merged per-shard streams of a shards=4 replay."""
+    records, slo = _recorded_stream(shards)
+    path = tmp_path / f"s{shards}.jsonl"
+    with open(path, "w", encoding="utf-8") as fh:
+        sink = JsonlSink(fh, flush_every=64)
+        for rec in records:
+            sink(rec)
+    validate_stream(str(path))
+    rebuilt = slo_from_records(read_jsonl(str(path)))
+    assert rebuilt.report() == slo.report()
+    assert rebuilt.rounds_total == slo.rounds_total
+    assert rebuilt.attainment == slo.attainment
+
+
+def test_sharded_stream_is_merged_ordered_and_stamped():
+    records, _ = _recorded_stream(4)
+    assert [r.at for r in records] == sorted(r.at for r in records)
+    shards_seen = {r.shard for r in records}
+    assert shards_seen == {0, 1, 2, 3}
+    # every shard contributed a replay lifecycle of its own
+    assert sum(1 for r in records if r.kind == "replay-start") == 4
+    assert sum(1 for r in records if r.kind == "perf-snapshot") == 4
+
+
+def test_forked_and_inline_shards_stream_identically():
+    records, _ = _recorded_stream(4)
+    bus = TelemetryBus()
+    recorder = RecordingSubscriber(bus)
+    with capture(bus):
+        _diurnal_replay("LIFL", seed=SEED).run(shards=4, inline=True)
+    assert records == recorder.records
+
+
+def test_slo_from_records_requires_a_replay_start():
+    with pytest.raises(ConfigError, match="replay-start"):
+        slo_from_records([
+            TelemetryRecord(at=1.0, kind="round-shed", fields=(("reason", "r"),))
+        ])
+
+
+# ------------------------------------------------------- emitter coverage
+def test_chaos_faults_reach_the_stream():
+    from repro.experiments.trace_scenarios import run_burst_cell
+
+    bus = TelemetryBus()
+    recorder = RecordingSubscriber(bus)
+    with capture(bus):
+        run_burst_cell("LIFL", chaos="on", seed=SEED)
+    faults = [r for r in recorder.records if r.kind == "chaos-fault"]
+    assert faults
+    assert {f.get("fault") for f in faults} & {"crash", "dropout", "slow-node",
+                                               "nic-rescale", "partition", "heal"}
+
+
+def test_controller_ticks_and_actions_reach_the_stream():
+    from repro.scenarios.registry import get_scenario
+    from repro.scenarios.runner import CampaignRunner
+
+    runner = CampaignRunner(seed=SEED, filters={"mode": "reactive", "shards": "1"})
+    bus = TelemetryBus()
+    recorder = RecordingSubscriber(bus)
+    with capture(bus):
+        runner.run([get_scenario("autoscale-flashcrowd")])
+    kinds = [r.kind for r in recorder.records]
+    assert "controller-tick" in kinds
+    assert "control-action" in kinds
+    actions = [r for r in recorder.records if r.kind == "control-action"]
+    assert all(r.get("action") and r.get("reason") for r in actions)
+
+
+# ------------------------------------------------------ campaign plumbing
+def test_campaign_telemetry_file_identical_across_job_counts(tmp_path):
+    from repro.scenarios.registry import get_scenario
+    from repro.scenarios.runner import CampaignRunner
+
+    blobs = {}
+    for jobs in (1, 4):
+        path = tmp_path / f"jobs{jobs}.jsonl"
+        runner = CampaignRunner(
+            jobs=jobs, seed=SEED, filters={"system": "LIFL"},
+            telemetry_path=str(path),
+        )
+        result = runner.run([get_scenario("trace-diurnal-multitenant")])
+        assert all(rec.telemetry for rep in result.reports for rec in rep.records)
+        blobs[jobs] = path.read_bytes()
+        counts = validate_stream(str(path))
+        assert counts["run-start"] == 3  # shards 1, 2, 4
+        assert counts["round-settled"] > 0
+    assert blobs[1] == blobs[4], "--telemetry stream differs across --jobs"
+
+
+def test_records_to_objs_round_trips():
+    rec = TelemetryRecord(at=1.0, kind="round-aborted", tenant=0, round_id=1,
+                          fields=(("queue_wait", 0.25),))
+    objs = records_to_objs([rec])
+    assert [record_from_obj(o) for o in objs] == [rec]
