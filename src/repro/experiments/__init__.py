@@ -49,6 +49,7 @@ from repro.experiments import (  # noqa: F401  (import order = catalogue order)
     trace_scenarios,
     controlplane_scenarios,
     policy_tournament,
+    geo_scenarios,
 )
 
 __all__ = [
@@ -61,6 +62,7 @@ __all__ = [
     "fig09_fl_workloads",
     "fig10_timeseries",
     "fig13_queuing",
+    "geo_scenarios",
     "hetero_nic",
     "mixed_fleet",
     "overhead",

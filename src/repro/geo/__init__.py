@@ -1,0 +1,45 @@
+"""Geo-distributed multi-cell federation: regions over WAN links.
+
+The paper's serving story is single-cluster; :mod:`repro.geo` extends it
+to planet scale.  A :class:`~repro.geo.topology.RegionTopology` names a
+set of regions — each a full serving cell built from a
+``platform_factory(region)`` — coupled by directed WAN
+:class:`~repro.cluster.network.ProcessorSharingLink`\\ s with per-pair
+latency/capacity asymmetry.  The
+:class:`~repro.geo.federation.GeoReplayEngine` routes a trace across the
+regions (tenant home affinity, chaos-driven failover to a configured
+fallback), replays each region as an independent cell (forked workers
+where available), ships every completed non-root round's aggregated
+update to the root region over the WAN (exact weight accounting through
+the boundary), and merges the results exactly.
+
+Unused, this package costs nothing: nothing here is imported by the
+replay path, and a one-region topology reproduces the unsharded replay
+byte for byte — both pinned by the golden/differential suites.
+"""
+
+from repro.geo.federation import (
+    FailoverEpisode,
+    GeoReplayEngine,
+    GeoReplayResult,
+    GeoRoute,
+    RegionReport,
+    WanShipment,
+    placement_nodes,
+    route_trace,
+)
+from repro.geo.topology import RegionTopology, WanLink, validate_geo_faults
+
+__all__ = [
+    "FailoverEpisode",
+    "GeoReplayEngine",
+    "GeoReplayResult",
+    "GeoRoute",
+    "RegionReport",
+    "RegionTopology",
+    "WanLink",
+    "WanShipment",
+    "placement_nodes",
+    "route_trace",
+    "validate_geo_faults",
+]

@@ -1,0 +1,218 @@
+"""Region topologies: named serving cells coupled by WAN links.
+
+A :class:`RegionTopology` is pure data — which regions exist, how their
+WAN links are shaped (per directed pair: propagation latency and pipe
+capacity, so asymmetric routes are first-class), which region is the
+aggregation **root**, and where each region's tenants drain when the
+region is chaos-partitioned (the ``fallbacks`` map).  The
+:class:`~repro.geo.federation.GeoReplayEngine` turns a topology plus a
+trace into one federated replay.
+
+Region-scoped chaos reuses :class:`repro.chaos.plan.PartitionWindow`
+unchanged: a geo fault plan's partition windows name *regions* instead of
+fabric nodes, and :func:`validate_geo_faults` pins the rules — partitions
+only (region cells own their intra-region faults), every window names
+known regions, a partitioned region must have a fallback, and a region
+and its fallback may never be down at once (there would be nowhere to
+drain to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+__all__ = [
+    "RegionTopology",
+    "WanLink",
+    "validate_geo_faults",
+]
+
+#: default WAN propagation latency between regions (one way, seconds)
+DEFAULT_WAN_LATENCY_S = 0.04
+#: default WAN pipe capacity (bytes/s) — a 1 Gb/s inter-region pipe,
+#: an order of magnitude under the intra-region 10 Gb NICs
+DEFAULT_WAN_CAPACITY_BPS = 1.25e8
+
+
+@dataclass(frozen=True)
+class WanLink:
+    """One *directed* inter-region pipe: ``src -> dst``.
+
+    Asymmetry is modelled by giving the two directions of a pair
+    different links (different latency and/or capacity); a direction
+    without an explicit link falls back to the topology defaults.
+    """
+
+    src: str
+    dst: str
+    latency_s: float = DEFAULT_WAN_LATENCY_S
+    capacity_bps: float = DEFAULT_WAN_CAPACITY_BPS
+
+    def check(self) -> None:
+        if not self.src or not self.dst:
+            raise ConfigError("WAN link needs non-empty src and dst regions")
+        if self.src == self.dst:
+            raise ConfigError(f"WAN link {self.src!r} -> itself is meaningless")
+        if self.latency_s < 0:
+            raise ConfigError(f"WAN latency must be >= 0, got {self.latency_s}")
+        if self.capacity_bps <= 0:
+            raise ConfigError(
+                f"WAN capacity must be positive, got {self.capacity_bps}"
+            )
+
+
+class RegionTopology:
+    """Named regions, their WAN coupling, and the failover map.
+
+    ``regions`` fixes the region *order* — tenant home assignment
+    defaults to round-robin over it and every merge tie-break uses it —
+    and ``root`` names the region performing the cross-cell root
+    reduction (default: the first region).  ``links`` overrides specific
+    directed pairs; unlisted pairs use the topology-wide defaults, so a
+    fully-connected mesh needs no explicit links at all.
+    """
+
+    def __init__(
+        self,
+        regions: tuple[str, ...] | list[str],
+        links: tuple[WanLink, ...] | list[WanLink] = (),
+        fallbacks: dict[str, str] | None = None,
+        root: str | None = None,
+        default_latency_s: float = DEFAULT_WAN_LATENCY_S,
+        default_capacity_bps: float = DEFAULT_WAN_CAPACITY_BPS,
+    ) -> None:
+        self.regions = tuple(regions)
+        self.links = tuple(links)
+        self.fallbacks = dict(fallbacks or {})
+        self.root = root if root is not None else (self.regions[0] if self.regions else "")
+        self.default_latency_s = float(default_latency_s)
+        self.default_capacity_bps = float(default_capacity_bps)
+        self._by_pair = {(lnk.src, lnk.dst): lnk for lnk in self.links}
+        self.validate()
+
+    # ----------------------------------------------------------- validation
+    def validate(self) -> None:
+        if not self.regions:
+            raise ConfigError("a topology needs at least one region")
+        seen: set[str] = set()
+        for name in self.regions:
+            if not name:
+                raise ConfigError("region names must be non-empty")
+            if name in seen:
+                raise ConfigError(f"duplicate region name {name!r}")
+            seen.add(name)
+        if self.root not in seen:
+            raise ConfigError(f"root region {self.root!r} is not in the topology")
+        if self.default_latency_s < 0:
+            raise ConfigError("default WAN latency must be >= 0")
+        if self.default_capacity_bps <= 0:
+            raise ConfigError("default WAN capacity must be positive")
+        pairs: set[tuple[str, str]] = set()
+        for lnk in self.links:
+            lnk.check()
+            if lnk.src not in seen or lnk.dst not in seen:
+                raise ConfigError(
+                    f"WAN link {lnk.src!r}->{lnk.dst!r} references an unknown region"
+                )
+            if (lnk.src, lnk.dst) in pairs:
+                raise ConfigError(
+                    f"duplicate WAN link for pair {lnk.src!r}->{lnk.dst!r}"
+                )
+            pairs.add((lnk.src, lnk.dst))
+        for region, fb in self.fallbacks.items():
+            if region not in seen:
+                raise ConfigError(f"fallback for unknown region {region!r}")
+            if fb not in seen:
+                raise ConfigError(
+                    f"region {region!r} falls back to unknown region {fb!r}"
+                )
+            if fb == region:
+                raise ConfigError(f"region {region!r} cannot fall back to itself")
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def n_regions(self) -> int:
+        return len(self.regions)
+
+    def link(self, src: str, dst: str) -> WanLink:
+        """The directed WAN link ``src -> dst`` (defaults when unlisted)."""
+        if src not in self.regions or dst not in self.regions:
+            raise ConfigError(f"unknown region in pair {src!r}->{dst!r}")
+        if src == dst:
+            raise ConfigError(f"no WAN link from {src!r} to itself")
+        found = self._by_pair.get((src, dst))
+        if found is not None:
+            return found
+        return WanLink(
+            src=src,
+            dst=dst,
+            latency_s=self.default_latency_s,
+            capacity_bps=self.default_capacity_bps,
+        )
+
+    def fallback(self, region: str) -> str:
+        """Where ``region``'s tenants drain when it is partitioned
+        ('' when no fallback is configured)."""
+        return self.fallbacks.get(region, "")
+
+    def home_of(self, tenant: int, homes: dict[int, str] | None = None) -> str:
+        """``tenant``'s home region: the explicit map, else round-robin
+        over the region order."""
+        if homes is not None:
+            found = homes.get(tenant, "")
+            if found:
+                if found not in self.regions:
+                    raise ConfigError(
+                        f"tenant {tenant} homed in unknown region {found!r}"
+                    )
+                return found
+        return self.regions[tenant % len(self.regions)]
+
+    def zero_wan(self) -> bool:
+        """True when every configured link (and the defaults) carries zero
+        propagation latency — the differential tests' flat-WAN case."""
+        if self.default_latency_s != 0.0:
+            return False
+        return all(lnk.latency_s == 0.0 for lnk in self.links)
+
+
+def validate_geo_faults(plan, topology: RegionTopology) -> None:
+    """Pin the region-scoped fault-plan rules (see module docstring).
+
+    ``plan`` is a :class:`repro.chaos.plan.FaultPlan` whose partition
+    windows name regions.  Raises :class:`ConfigError` on any violation.
+    """
+    plan.validate()
+    if plan.crashes or plan.dropouts or plan.nic_degradations or plan.slow_nodes:
+        raise ConfigError(
+            "a geo fault plan must be partitions-only — crashes, dropouts, "
+            "NIC degradations, and slow nodes act inside a region cell and "
+            "belong to the cell's own chaos configuration"
+        )
+    known = set(topology.regions)
+    windows: list[tuple[str, float, float]] = []
+    for win in plan.partitions:
+        for name in win.nodes:
+            if name not in known:
+                raise ConfigError(
+                    f"geo partition window names unknown region {name!r}; "
+                    f"topology has {sorted(known)}"
+                )
+            if not topology.fallback(name):
+                raise ConfigError(
+                    f"region {name!r} is partitioned but has no fallback — "
+                    "its tenants would have nowhere to drain"
+                )
+            windows.append((name, win.start, win.end))
+    # A region and its fallback must never be down at once.
+    for region, start, end in windows:
+        fb = topology.fallback(region)
+        for other, ostart, oend in windows:
+            if other == fb and start < oend and ostart < end:
+                raise ConfigError(
+                    f"region {region!r} and its fallback {fb!r} are "
+                    f"partitioned simultaneously ([{start}, {end}) vs "
+                    f"[{ostart}, {oend}))"
+                )

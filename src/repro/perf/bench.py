@@ -361,6 +361,43 @@ def run_macro_stress100k(repeat: int = 3, shards: int = 4) -> dict:
     return out
 
 
+def run_macro_geo_followsun(repeat: int = 3) -> dict:
+    """Wall-clock of the ``geo-follow-the-sun`` 3-region LIFL cell: three
+    full serving cells, phase-shifted diurnal load, WAN root reduction,
+    and the exact merge.  ``wan_flows``/``wan_weight`` pin that the WAN
+    stage really ran; ``host_cpus`` records whether the regions forked or
+    degraded to inline (single-CPU hosts).
+    """
+    from repro.experiments.geo_scenarios import run_followsun_cell
+    from repro.traces.shard import _available_cpus
+
+    out: dict = {"host_cpus": _available_cpus(), "regions": 3}
+    for system in ("LIFL",):
+        best = None
+        counters = EngineCounters()
+        row: dict = {}
+        for _ in range(repeat):
+            with collect() as perf:
+                t0 = time.perf_counter()
+                cell = run_followsun_cell(system, 3, seed=1)
+                dt = time.perf_counter() - t0
+            if best is None or dt < best:
+                best = dt
+                counters = perf.counters()
+                row = cell
+        out[system] = {
+            "seconds": best,
+            "rounds": row.get("rounds", 0),
+            "wan_flows": row.get("wan_flows", 0),
+            "wan_weight": row.get("wan_weight", 0.0),
+            "failover_rounds": row.get("failover_rounds", 0),
+            "latency_p95_s": row.get("latency_p95_s", 0.0),
+            "slo_attainment": row.get("slo_attainment", 0.0),
+            "counters": counters.as_dict(),
+        }
+    return out
+
+
 #: macro selector names for ``--only`` -> (metrics key, runner)
 MACRO_BENCHES = {
     "stress50": ("macro_stress50", run_macro_stress50),
@@ -368,6 +405,7 @@ MACRO_BENCHES = {
     "trace_diurnal": ("macro_trace_diurnal", run_macro_trace_diurnal),
     "trace_diurnal_sharded": ("macro_trace_diurnal_sharded", run_macro_trace_diurnal_sharded),
     "stress100k": ("macro_stress100k", run_macro_stress100k),
+    "geo_followsun": ("macro_geo_followsun", run_macro_geo_followsun),
 }
 
 
@@ -409,6 +447,7 @@ TREND_METRICS: tuple[tuple[str, str, float, tuple[str, ...]], ...] = (
     ),
     ("stress100k seq", "ms", 1e3, ("macro_stress100k", "sequential_seconds")),
     ("stress100k speedup", "x", 1.0, ("macro_stress100k", "critical_path_speedup")),
+    ("geo-followsun/LIFL", "ms", 1e3, ("macro_geo_followsun", "LIFL", "seconds")),
 )
 
 
@@ -599,6 +638,19 @@ def main(argv: list[str]) -> int:
             f"(measured {row['measured_speedup']:.2f}x, critical path "
             f"{row['critical_path_seconds']*1e3:.1f} ms = {row['critical_path_speedup']:.2f}x, "
             f"{sharded['host_cpus']} host cpu(s))"
+        )
+    geo = metrics.get("macro_geo_followsun", {})
+    for system in ("LIFL",):
+        row = geo.get(system)
+        if not row:
+            continue
+        c = row["counters"]
+        print(
+            f"  geo-followsun/{system:<5} {row['seconds']*1e3:>6.1f} ms/cell  "
+            f"({geo['regions']} regions, {row['rounds']} rounds, "
+            f"{row['wan_flows']} wan flows, p95 {row['latency_p95_s']:.2f}s, "
+            f"attained {row['slo_attainment']:.1%}, {c['events_processed']} events, "
+            f"{geo['host_cpus']} host cpu(s))"
         )
     big = metrics.get("macro_stress100k")
     if big:

@@ -85,6 +85,12 @@ RECORD_KINDS: dict[str, tuple[str, ...]] = {
     "control-action": ("action", "target", "delta", "reason"),
     # chaos fault windows and round-scoped faults
     "chaos-fault": ("fault", "target", "value"),
+    # geo federation (:mod:`repro.geo`): a region draining its tenants to
+    # its fallback (phase "drain") and taking them back (phase "heal")
+    "region-failover": ("fallback", "phase", "tenants"),
+    # one cross-region WAN shipment: a round's aggregated update crossing
+    # the src->dst boundary (weight rides along for exact accounting)
+    "wan-sample": ("src", "dst", "nbytes", "weight", "latency_s", "transfer_s"),
     # engine counter snapshot at replay end (one per serving cell/shard)
     "perf-snapshot": (
         "events_processed",
@@ -103,9 +109,11 @@ class TelemetryRecord:
     """One typed observation at one instant of virtual time.
 
     ``tenant``/``round_id`` are -1 when the record is not round-scoped;
-    ``shard`` is -1 until a sharded merge stamps the originating shard.
-    ``fields`` holds the kind-specific payload as a sorted tuple of
-    ``(name, value)`` pairs — hashable, picklable, and JSON-ready.
+    ``shard`` is -1 until a sharded merge stamps the originating shard;
+    ``region`` is "" until a geo merge stamps the originating region
+    (:mod:`repro.geo`).  ``fields`` holds the kind-specific payload as a
+    sorted tuple of ``(name, value)`` pairs — hashable, picklable, and
+    JSON-ready.
     """
 
     at: float
@@ -113,6 +121,7 @@ class TelemetryRecord:
     tenant: int = -1
     round_id: int = -1
     shard: int = -1
+    region: str = ""
     fields: tuple[tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -240,19 +249,38 @@ def capture(bus: TelemetryBus) -> Iterator[TelemetryBus]:
 # ----------------------------------------------------------------- streams
 def merge_streams(
     streams: Sequence[Sequence[TelemetryRecord]],
+    regions: Sequence[str] | None = None,
 ) -> list[TelemetryRecord]:
-    """Fold per-shard streams into one, ordered by virtual time.
+    """Fold per-shard (or per-region) streams into one, ordered by
+    virtual time.
 
-    Each input stream is already in its shard's emission order; the merge
-    stamps records with their stream index (the ``shard`` field) and
-    stable-sorts by ``at`` — so simultaneous records keep shard order,
-    then per-shard emission order, and the merged stream is a
-    deterministic function of the inputs.
+    Each input stream is already in its cell's emission order; the merge
+    stamps records with their stream index (the ``shard`` field) — and,
+    when ``regions`` names the streams, the originating region — then
+    sorts by ``(at, region, shard)``.  Simultaneous records therefore
+    keep region order, then shard order, then per-stream emission order
+    (the sort is stable), and the merged stream is a deterministic
+    function of the inputs.  The explicit ``(region, shard)`` tie-break
+    matters for geo merges: a bare stable sort on ``at`` would leave
+    simultaneous records ordered by whichever stream the caller happened
+    to list first, which stream-index stamping alone cannot disambiguate
+    once regions nest shard-merged streams.
     """
+    if regions is not None and len(regions) != len(streams):
+        raise ConfigError(
+            f"merge_streams got {len(streams)} streams but {len(regions)} "
+            "region names"
+        )
     merged: list[TelemetryRecord] = []
     for shard_id, stream in enumerate(streams):
-        merged.extend(replace(rec, shard=shard_id) for rec in stream)
-    merged.sort(key=lambda rec: rec.at)
+        if regions is None:
+            merged.extend(replace(rec, shard=shard_id) for rec in stream)
+        else:
+            region = regions[shard_id]
+            merged.extend(
+                replace(rec, shard=shard_id, region=region) for rec in stream
+            )
+    merged.sort(key=lambda rec: (rec.at, rec.region, rec.shard))
     return merged
 
 

@@ -316,6 +316,31 @@ def _outcome_bars(pairs: list[tuple[dict, dict]]) -> str:
     return "".join(parts)
 
 
+def _region_rollup(records: list[dict]) -> dict[str, dict]:
+    """Per-region counters for geo streams (empty when no record carries
+    a region — single-cell reports render exactly as before)."""
+    regions: dict[str, dict] = {}
+    for obj in records:
+        name = str(obj.get("region", ""))
+        if not name:
+            continue
+        roll = regions.setdefault(
+            name,
+            {"records": 0, "settled": 0, "attained": 0, "wan": 0, "bytes": 0.0, "failovers": 0},
+        )
+        roll["records"] += 1
+        kind = obj.get("kind")
+        if kind == "round-settled":
+            roll["settled"] += 1
+            roll["attained"] += bool(obj.get("attained"))
+        elif kind == "wan-sample":
+            roll["wan"] += 1
+            roll["bytes"] += float(obj.get("nbytes", 0.0))
+        elif kind == "region-failover":
+            roll["failovers"] += 1
+    return regions
+
+
 def _section_telemetry(header: dict, runs: list[dict]) -> str:
     parts = ["<h2>telemetry streams</h2>"]
     seed = header.get("campaign_seed")
@@ -339,12 +364,31 @@ def _section_telemetry(header: dict, runs: list[dict]) -> str:
                     + "</figure>"
                 )
             parts.append("</div>")
+        regions = _region_rollup(records)
+        if regions:
+            parts.append(
+                "<table><thead><tr><th>region</th><th>records</th><th>settled</th>"
+                "<th>attained</th><th>wan flows</th><th>wan MB</th>"
+                "<th>failover events</th></tr></thead><tbody>"
+            )
+            for name in sorted(regions):
+                roll = regions[name]
+                share = roll["attained"] / roll["settled"] if roll["settled"] else 0.0
+                parts.append(
+                    f"<tr><td>{_esc(name)}</td><td>{roll['records']}</td>"
+                    f"<td>{roll['settled']}</td><td>{share:.1%}</td>"
+                    f"<td>{roll['wan']}</td><td>{roll['bytes'] / 1e6:.0f}</td>"
+                    f"<td>{roll['failovers']}</td></tr>"
+                )
+            parts.append("</tbody></table>")
         lanes: dict[str, list[dict]] = {}
         for obj in records:
             if obj.get("kind") == "control-action":
                 lanes.setdefault(f"action: {obj.get('action')}", []).append(obj)
             elif obj.get("kind") == "chaos-fault":
                 lanes.setdefault(f"chaos: {obj.get('fault')}", []).append(obj)
+            elif obj.get("kind") == "region-failover":
+                lanes.setdefault(f"failover: {obj.get('region')}", []).append(obj)
         if lanes:
             parts.append(_timeline_svg(sorted(lanes.items()), t_max))
     if len(runs) > len(shown):

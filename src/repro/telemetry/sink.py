@@ -37,8 +37,9 @@ __all__ = [
     "validate_stream",
 ]
 
-#: envelope keys every record line carries
-ENVELOPE_KEYS = ("at", "kind", "tenant", "round", "shard")
+#: envelope keys a record line may carry (``region`` only when a geo
+#: merge stamped one, so pre-geo streams are byte-unchanged)
+ENVELOPE_KEYS = ("at", "kind", "tenant", "round", "shard", "region")
 #: non-record context line kinds a stream may carry
 CONTEXT_KINDS = ("stream-header", "run-start")
 
@@ -52,6 +53,8 @@ def record_to_obj(record: TelemetryRecord) -> dict[str, Any]:
         obj["round"] = record.round_id
     if record.shard >= 0:
         obj["shard"] = record.shard
+    if record.region:
+        obj["region"] = record.region
     obj.update(record.fields)
     return obj
 
@@ -70,6 +73,7 @@ def record_from_obj(obj: dict[str, Any]) -> TelemetryRecord:
         tenant=obj.get("tenant", -1),
         round_id=obj.get("round", -1),
         shard=obj.get("shard", -1),
+        region=obj.get("region", ""),
         fields=fields,
     )
 

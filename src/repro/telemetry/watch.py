@@ -55,6 +55,18 @@ class TenantView:
     latencies: deque = field(default_factory=lambda: deque(maxlen=64))
 
 
+@dataclass
+class RegionView:
+    """Per-region rollup (geo streams only: records carrying a region)."""
+
+    records: int = 0
+    settled: int = 0
+    attained: int = 0
+    wan_flows: int = 0
+    wan_bytes: float = 0.0
+    draining: str = ""  # fallback region while a failover drain is open
+
+
 class WatchState:
     """Accumulates a telemetry stream into the live view's model.
 
@@ -87,6 +99,9 @@ class WatchState:
         #: degraded nodes: node -> factor (slow-node / nic-rescale != 1.0)
         self.degraded: dict[str, float] = {}
         self.perf: dict | None = None
+        #: region -> rollup; empty for single-cell (region-less) streams
+        self.regions: dict[str, RegionView] = {}
+        self.failovers: deque = deque(maxlen=6)
 
     # ------------------------------------------------------------- feed
     def feed(self, obj: dict) -> None:
@@ -106,6 +121,13 @@ class WatchState:
         at = float(obj.get("at", 0.0))
         self.now = max(self.now, at)
         tenant = int(obj.get("tenant", -1))
+        region = str(obj.get("region", ""))
+        if region:
+            rview = self.regions.setdefault(region, RegionView())
+            rview.records += 1
+            if kind == "round-settled":
+                rview.settled += 1
+                rview.attained += bool(obj.get("attained"))
         if kind == "queue-sample":
             view = self.tenants.setdefault(tenant, TenantView())
             view.depth = int(obj.get("depth", 0))
@@ -138,6 +160,18 @@ class WatchState:
             self.actions.append(obj)
         elif kind == "chaos-fault":
             self._feed_fault(obj, at)
+        elif kind == "region-failover":
+            self.failovers.append(obj)
+            if region:
+                view = self.regions.setdefault(region, RegionView())
+                view.draining = (
+                    str(obj.get("fallback", "")) if obj.get("phase") == "drain" else ""
+                )
+        elif kind == "wan-sample":
+            if region:
+                view = self.regions.setdefault(region, RegionView())
+                view.wan_flows += 1
+                view.wan_bytes += float(obj.get("nbytes", 0.0))
         elif kind == "perf-snapshot":
             self.perf = obj
 
@@ -209,6 +243,28 @@ def render_frame(state: WatchState) -> str:
                 f"  t{tenant:<4} {view.depth:>5} {view.deferred:>6}  {inflight:>8}  "
                 f"{view.attained:>4}/{view.settled:<4} {share:>6.1%}  "
                 f"{sparkline(list(view.latencies))}"
+            )
+    if state.regions:
+        lines.append("")
+        lines.append("region  records  settled  attained  wan out         status")
+        for name in sorted(state.regions):
+            view = state.regions[name]
+            share = view.attained / view.settled if view.settled else 0.0
+            wan = (
+                f"{view.wan_flows} fl/{view.wan_bytes / 1e6:.0f}MB"
+                if view.wan_flows
+                else "-"
+            )
+            status = f"draining→{view.draining}" if view.draining else "serving"
+            lines.append(
+                f"  {name:<6} {view.records:>7} {view.settled:>8}  {share:>7.1%}  "
+                f"{wan:<14}  {status}"
+            )
+        for ev in state.failovers:
+            lines.append(
+                f"  {ev.get('at', 0.0):8.1f}s  {ev.get('phase')} region "
+                f"{ev.get('region')} fallback={ev.get('fallback')} "
+                f"tenants={ev.get('tenants')}"
             )
     if state.last_tick is not None:
         tick = state.last_tick

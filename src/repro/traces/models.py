@@ -160,14 +160,20 @@ def diurnal_trace(
     amplitude: float = 0.8,
     period: float = 86400.0,
     phase: float = 0.0,
+    phase_shift_s: float = 0.0,
     seed: int = 0,
     tenant: int = 0,
 ) -> Trace:
     """Nonhomogeneous Poisson arrivals with a sinusoidal (diurnal) rate.
 
-    The instantaneous rate is ``base × (1 + amplitude · sin(2π(t+phase)/
-    period))``; sampled exactly by thinning against the peak rate, so the
-    trace is deterministic in the seed regardless of the rate shape.
+    The instantaneous rate is ``base × (1 + amplitude · sin(2π(t+phase+
+    phase_shift_s)/period))``; sampled exactly by thinning against the
+    peak rate, so the trace is deterministic in the seed regardless of
+    the rate shape.  ``phase_shift_s`` is an additive offset on top of
+    ``phase`` — the follow-the-sun knob: give each region's tenants a
+    shift of ``region_index × period / n_regions`` and their load peaks
+    march around the planet (:mod:`repro.geo`).  Zero shift reproduces
+    the unshifted trace byte for byte.
     """
     if base_rate_per_min <= 0 or horizon <= 0:
         raise ConfigError("rate and horizon must be positive")
@@ -185,14 +191,16 @@ def diurnal_trace(
         t += float(rng.exponential(1.0 / peak))
         if t >= horizon:
             break
-        rate_t = base * (1.0 + amplitude * math.sin(two_pi * (t + phase) / period))
+        shifted = t + phase + phase_shift_s
+        rate_t = base * (1.0 + amplitude * math.sin(two_pi * shifted / period))
         if float(rng.uniform()) * peak < rate_t:
             events.append(TraceEvent(at=t, tenant=tenant))
+    shift_tag = f", shift={phase_shift_s}s" if phase_shift_s else ""
     return _finish(
         events,
         horizon,
         f"diurnal(base={base_rate_per_min}/min, amp={amplitude}, "
-        f"period={period}s, horizon={horizon}s)",
+        f"period={period}s{shift_tag}, horizon={horizon}s)",
     )
 
 

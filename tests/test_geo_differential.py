@@ -1,0 +1,252 @@
+"""Differential + property tests for the geo federation (repro.geo).
+
+The three invariants the federation's correctness rests on, each driven
+by hypothesis over seeds and topology shapes:
+
+* **regions=1 ≡ sequential replay** — a one-region, zero-WAN topology is
+  the unsharded :class:`~repro.traces.replay.TraceReplayEngine`, byte
+  for byte: identical round timelines and identical SLO reports;
+* **weight conservation across the WAN boundary** — the weight shipped
+  to the root equals exactly the completed weight served outside the
+  root, pair by pair, with nothing minted or lost at the boundary;
+* **failover is complete-or-abort and never hangs** — under a region
+  partition every routed arrival reaches a terminal state (settled,
+  aborted, rejected, or shed), drained tenants are served in the
+  fallback region for the window's duration, and routing partitions the
+  trace exactly (every event served in exactly one region).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.plan import FaultPlan, PartitionWindow
+from repro.common.errors import ConfigError
+from repro.core.platform import AggregationPlatform, PlatformConfig
+from repro.geo import (
+    GeoReplayEngine,
+    RegionTopology,
+    WanLink,
+    route_trace,
+    validate_geo_faults,
+)
+from repro.traces.models import merge_traces, poisson_trace
+from repro.traces.replay import ReplayConfig, TraceReplayEngine
+
+REGIONS = ("us", "eu", "ap")
+HORIZON = 90.0
+N_TENANTS = 4
+
+
+def _trace(seed: int):
+    return merge_traces(
+        *[
+            poisson_trace(6.0, HORIZON, seed=seed, tenant=t)
+            for t in range(N_TENANTS)
+        ]
+    )
+
+
+def _config() -> ReplayConfig:
+    return ReplayConfig(
+        round_updates=3,
+        nbytes=1e6,
+        max_inflight=2,
+        queue_limit=4,
+        slo_target_s=8.0,
+        arrival_spread_s=0.5,
+    )
+
+
+def _platform(region: str = "") -> AggregationPlatform:
+    prefix = f"{region}-" if region else ""
+    return AggregationPlatform(
+        PlatformConfig.lifl(), node_names=[f"{prefix}node{i}" for i in range(3)]
+    )
+
+
+def _topology(n: int, zero_wan: bool = False) -> RegionTopology:
+    regions = REGIONS[:n]
+    fallbacks = (
+        {r: regions[(i + 1) % n] for i, r in enumerate(regions)} if n > 1 else {}
+    )
+    return RegionTopology(
+        regions,
+        fallbacks=fallbacks,
+        default_latency_s=0.0 if zero_wan else 0.03,
+        default_capacity_bps=1.25e8,
+    )
+
+
+def _timeline(result):
+    return [
+        (r.tenant, r.round_id, r.arrival_at, r.admit_at, r.complete_at,
+         r.aborted, r.rejected, r.shed, r.deferred, tuple(r.participants))
+        for r in result.records
+    ]
+
+
+# ------------------------------------------------- regions=1 == sequential
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 2**20))
+def test_one_region_zero_wan_is_byte_identical_to_sequential_replay(seed: int):
+    trace = _trace(seed)
+    plain = TraceReplayEngine(_platform(), trace, _config(), seed=seed).run()
+    geo = GeoReplayEngine(
+        _topology(1, zero_wan=True),
+        lambda region: _platform(),
+        trace,
+        _config(),
+        seed=seed,
+    ).run()
+    assert geo.merged.row() == plain.row()
+    assert _timeline(geo.merged) == _timeline(plain)
+    assert geo.merged.slo.report() == plain.slo.report()
+    assert geo.shipments == [] and geo.row()["wan_flows"] == 0
+
+
+# --------------------------------------------------- WAN weight conservation
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 2**20), n_regions=st.sampled_from((2, 3)))
+def test_wan_ships_exactly_the_completed_non_root_weight(seed: int, n_regions: int):
+    topology = _topology(n_regions)
+    result = GeoReplayEngine(
+        topology, lambda region: _platform(region), _trace(seed), _config(), seed=seed
+    ).run()
+    expected: dict[tuple[str, str], float] = {}
+    for rep in result.regions:
+        if rep.region == topology.root:
+            continue
+        done = sum(
+            sum(w for _, w in rec.participants)
+            for rec in rep.result.records
+            if not (rec.aborted or rec.rejected or rec.shed)
+        )
+        if done:
+            expected[(rep.region, topology.root)] = done
+    by_pair = result.wan_weight_by_pair()
+    assert set(by_pair) == set(expected)
+    for pair, weight in expected.items():
+        assert abs(by_pair[pair] - weight) < 1e-9, f"weight leak on {pair}"
+    # every shipment actually traversed the link: latency + transfer > 0
+    assert all(s.latency_s > 0 and s.transfer_s > 0 for s in result.shipments)
+    # root rounds never ship
+    root_rounds = {
+        (r.tenant, r.round_id)
+        for r in result.region_report(topology.root).result.records
+    }
+    assert all((s.tenant, s.round_id) not in root_rounds for s in result.shipments)
+
+
+# --------------------------------------------- failover: complete-or-abort
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(0, 2**20),
+    start_frac=st.floats(0.15, 0.5),
+    width_frac=st.floats(0.15, 0.4),
+)
+def test_failover_reaches_terminal_state_and_drains_to_fallback(
+    seed: int, start_frac: float, width_frac: float
+):
+    start = start_frac * HORIZON
+    end = min(HORIZON, start + width_frac * HORIZON)
+    plan = FaultPlan(partitions=(PartitionWindow(("eu",), start, end),))
+    topology = _topology(3)
+    trace = _trace(seed)
+    engine = GeoReplayEngine(
+        topology,
+        lambda region: _platform(region),
+        trace,
+        _config(),
+        seed=seed,
+        fault_plan=plan,
+    )
+    result = engine.run()
+    # never hangs: the run returned and every routed arrival is terminal
+    assert len(result.merged.records) == len(trace.events)
+    for rec in result.merged.records:
+        terminal = rec.rejected or rec.shed or rec.aborted or rec.complete_at >= 0
+        assert terminal, f"round ({rec.tenant},{rec.round_id}) left in limbo"
+    # routing partitions the trace: each event served in exactly one region
+    assert sum(len(rep.result.records) for rep in result.regions) == len(trace.events)
+    # drained tenants served in the fallback exactly for the window
+    fallback = topology.fallback("eu")
+    eu_tenants = {t for t, home in result.route.homes.items() if home == "eu"}
+    for (tenant, round_id), region in result.route.served_in.items():
+        if tenant not in eu_tenants:
+            continue
+        at = next(
+            ev.at
+            for ev in trace.events
+            if ev.tenant == tenant and ev.round_id == round_id
+        )
+        expected = fallback if start <= at < end else "eu"
+        assert region == expected, (
+            f"tenant {tenant} round {round_id} at {at:.1f}s served in "
+            f"{region}, expected {expected}"
+        )
+    # the drain/heal episode is recorded with the drained tenants
+    assert len(result.route.episodes) == 1
+    ep = result.route.episodes[0]
+    assert ep.region == "eu" and ep.fallback == fallback
+    assert set(ep.tenants) == eu_tenants
+
+
+# ------------------------------------------------------------- route purity
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**20), n_regions=st.sampled_from((1, 2, 3)))
+def test_route_trace_partitions_events_exactly_once(seed: int, n_regions: int):
+    trace = _trace(seed)
+    route = route_trace(trace, _topology(n_regions))
+    seen: set[tuple[int, int]] = set()
+    for region, events in route.assignments.items():
+        assert region in REGIONS[:n_regions]
+        for ev in events:
+            key = (ev.tenant, ev.round_id)
+            assert key not in seen, f"event {key} routed twice"
+            seen.add(key)
+    assert len(seen) == len(trace.events)
+    assert route.failover_rounds == 0  # no fault plan, nobody fails over
+
+
+# -------------------------------------------------------- fault-plan guards
+def test_geo_fault_validation_refuses_unsafe_plans():
+    topology = _topology(3)
+    no_fallback = RegionTopology(("us", "eu"), fallbacks={})
+    for plan, topo, why in (
+        (FaultPlan(partitions=(PartitionWindow(("mars",), 1.0, 2.0),)), topology,
+         "unknown region"),
+        (FaultPlan(partitions=(PartitionWindow(("eu",), 1.0, 2.0),)), no_fallback,
+         "no fallback"),
+    ):
+        try:
+            validate_geo_faults(plan, topo)
+        except ConfigError:
+            continue
+        raise AssertionError(f"plan with {why} was accepted")
+    # region + its fallback down at once: nowhere to drain
+    both_down = FaultPlan(
+        partitions=(
+            PartitionWindow(("eu",), 10.0, 30.0),
+            PartitionWindow(("ap",), 20.0, 40.0),
+        )
+    )
+    try:
+        validate_geo_faults(both_down, topology)
+        raise AssertionError("overlapping region+fallback partition accepted")
+    except ConfigError:
+        pass
+
+
+def test_asymmetric_links_resolve_per_direction():
+    topo = RegionTopology(
+        ("us", "eu"),
+        links=(WanLink("eu", "us", latency_s=0.05, capacity_bps=1e8),),
+        fallbacks={"eu": "us", "us": "eu"},
+        default_latency_s=0.02,
+    )
+    assert topo.link("eu", "us").latency_s == 0.05
+    assert topo.link("us", "eu").latency_s == 0.02  # unlisted → defaults
+    assert not topo.zero_wan()
+    assert _topology(2, zero_wan=True).zero_wan()

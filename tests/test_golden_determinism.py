@@ -266,6 +266,81 @@ def test_policy_tournament_golden_json_seq_vs_parallel(tmp_path):
     assert "bracket winners:" in seq_result.reports[0].text
 
 
+def test_geo_scenarios_golden_json_seq_vs_parallel_vs_profile(tmp_path):
+    """One LIFL cell of each geo scenario through every execution mode.
+
+    A sequential campaign may fork region workers (CPU-count permitting)
+    while ``--jobs 4`` forces the regions inline inside daemonic pool
+    workers, so equality here golden-pins forked vs inline federation —
+    the WAN simulation, the failover routing, and the exact-merge all
+    derive purely from the campaign seed."""
+    cells = (
+        ("geo-follow-the-sun", {"system": "LIFL", "regions": "3"}),
+        ("geo-partition-failover", {"system": "LIFL", "regions": "3"}),
+    )
+    for name, filters in cells:
+        seq, seq_result = _campaign_json(
+            tmp_path, f"geo-seq-{name}", jobs=1, profile=False,
+            scenarios=(name,), filters=filters,
+        )
+        par, par_result = _campaign_json(
+            tmp_path, f"geo-par-{name}", jobs=4, profile=False,
+            scenarios=(name,), filters=filters,
+        )
+        prof, _ = _campaign_json(
+            tmp_path, f"geo-prof-{name}", jobs=1, profile=True,
+            scenarios=(name,), filters=filters,
+        )
+        assert set(seq) == {f"{name}.json"}
+        assert seq[f"{name}.json"] == par[f"{name}.json"], (
+            f"{name}: sequential vs --jobs 4 differ"
+        )
+        assert seq[f"{name}.json"] == prof[f"{name}.json"], (
+            f"{name}: --profile changed the JSON"
+        )
+        for seq_rep, par_rep in zip(seq_result.reports, par_result.reports):
+            assert seq_rep.text == par_rep.text
+        rows = [row for rep in seq_result.reports for row in rep.rows]
+        assert rows
+        for row in rows:
+            assert row["regions"] == 3 and row["wan_flows"] > 0
+            if name == "geo-partition-failover":
+                assert row["failover_rounds"] > 0
+                assert row["weight_conserved"] is True
+
+
+def test_figure_campaign_byte_identical_with_geo_active(tmp_path):
+    """The zero-overhead-when-unconfigured pin for the geo subsystem: a
+    figure campaign run while geo machinery is fully imported, a
+    topology constructed/validated, a trace routed through it, and an
+    ambient telemetry bus installed must produce byte-identical JSON to
+    a plain campaign.  (``repro.geo`` is never imported by the figure
+    modules themselves; this proves even *active* geo state in the same
+    process perturbs nothing.)  A fast figure subset keeps the guard
+    cheap — the full eight-figure equality runs in
+    ``test_figure_scenarios_golden_json_seq_vs_parallel``."""
+    from repro.geo import RegionTopology, route_trace
+    from repro.telemetry.bus import TelemetryBus, capture
+    from repro.traces.models import poisson_trace
+
+    subset = ("fig04", "fig13", "capacity")
+    plain, plain_result = _campaign_json(
+        tmp_path, "geo-off", jobs=1, profile=False, scenarios=subset
+    )
+    topology = RegionTopology(("us", "eu"), fallbacks={"eu": "us", "us": "eu"})
+    route = route_trace(poisson_trace(6.0, 30.0, seed=3), topology)
+    assert route.assignments  # geo actually did work in this process
+    with capture(TelemetryBus()):
+        active, active_result = _campaign_json(
+            tmp_path, "geo-on", jobs=1, profile=False, scenarios=subset
+        )
+    assert set(plain) == {f"{name}.json" for name in subset}
+    for name in plain:
+        assert plain[name] == active[name], f"{name}: geo presence changed the JSON"
+    for a, b in zip(plain_result.reports, active_result.reports):
+        assert a.text == b.text
+
+
 def test_stress100k_small_cell_golden_json_seq_vs_parallel(tmp_path):
     """The stress100k 5k cell (all shard values) through sequential and
     ``--jobs 4`` campaigns: the partitioned protocol's rows must be

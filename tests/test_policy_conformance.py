@@ -158,6 +158,63 @@ def test_placement_covers_arrivals_and_respects_nodes(
     assert leaf_fan_in == placed, "plan leaves do not partition the updates"
 
 
+# ------------------------------------------------- region-restricted placement
+_REGION_NODES = {
+    "us": ("us-n0", "us-n1", "us-n2"),
+    "eu": ("eu-n0", "eu-n1"),
+    "ap": ("ap-n0", "ap-n1"),
+}
+_ALL_REGION_NODES = [n for nodes in _REGION_NODES.values() for n in nodes]
+
+
+@pytest.mark.parametrize("name", POLICIES.names("placement"))
+@settings(max_examples=20, deadline=None)
+@given(
+    arrivals=_ARRIVALS,
+    home=st.sampled_from(sorted(_REGION_NODES)),
+    partitioned_home=st.booleans(),
+)
+def test_placement_respects_region_restricted_node_sets(
+    name: str, arrivals: list, home: str, partitioned_home: bool
+):
+    """Every registered placement policy against the node sets the geo
+    federation hands it: the home region's nodes, or — while the home is
+    partitioned — the fallback's.  A policy must never place an update
+    in a partitioned region even though the platform knows every node."""
+    from repro.geo import placement_nodes
+
+    fallback = {"us": "eu", "eu": "ap", "ap": "us"}[home]
+    partitioned = {home} if partitioned_home else set()
+    allowed = placement_nodes(_REGION_NODES, home, fallback, partitioned)
+    assert set(allowed) == set(
+        _REGION_NODES[fallback if partitioned_home else home]
+    )
+    platform = AggregationPlatform(
+        PlatformConfig.lifl(), node_names=_ALL_REGION_NODES
+    )
+    pol = POLICIES.create("placement", name)
+    updates, plan = pol.place(platform, arrivals, nbytes=1e6, nodes=list(allowed))
+    assert len(updates) == len(arrivals)
+    used = {u.node for u in updates}
+    assert used <= set(allowed), f"{name} escaped the region restriction"
+    for region, nodes in _REGION_NODES.items():
+        if region in partitioned:
+            assert not used & set(nodes), f"{name} placed in a partitioned region"
+    plan.validate()
+
+
+def test_placement_nodes_refuses_dead_ends():
+    """The federation's restriction helper fails loudly rather than
+    handing a policy an empty or unsafe node set."""
+    from repro.common.errors import ConfigError
+    from repro.geo import placement_nodes
+
+    with pytest.raises(ConfigError, match="no fallback"):
+        placement_nodes(_REGION_NODES, "eu", "", {"eu"})
+    with pytest.raises(ConfigError, match="partitioned too"):
+        placement_nodes(_REGION_NODES, "eu", "ap", {"eu", "ap"})
+
+
 # ================================================================= admission
 @pytest.mark.parametrize("name", POLICIES.names("admission"))
 @settings(max_examples=30, deadline=None)

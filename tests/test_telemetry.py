@@ -162,6 +162,37 @@ def test_merge_streams_stamps_shards_and_orders_by_time():
     assert [r.shard for r in merged] == [1, 0, 1, 0]
 
 
+def test_merge_streams_region_stamp_and_tie_break():
+    """Regression for the geo merge: simultaneous records across streams
+    break ties by ``(region, shard)`` — deterministic whatever order the
+    caller lists the streams in — while region-less (legacy) merges stay
+    byte-identical to the plain stable sort above."""
+
+    def rec(at):
+        return TelemetryRecord(at=at, kind="round-shed", fields=(("reason", "r"),))
+
+    legacy = merge_streams([[rec(3.0)], [rec(3.0)]])
+    assert [(r.region, r.shard) for r in legacy] == [("", 0), ("", 1)]
+
+    merged = merge_streams(
+        [[rec(3.0), rec(5.0)], [rec(3.0)]], regions=["us", "ap"]
+    )
+    assert [(r.at, r.region, r.shard) for r in merged] == [
+        (3.0, "ap", 1),  # 'ap' sorts before 'us' at the 3.0 tie
+        (3.0, "us", 0),
+        (5.0, "us", 0),
+    ]
+    # listing the streams the other way round yields the same merge
+    flipped = merge_streams(
+        [[rec(3.0)], [rec(3.0), rec(5.0)]], regions=["ap", "us"]
+    )
+    assert [(r.at, r.region) for r in flipped] == [
+        (r.at, r.region) for r in merged
+    ]
+    with pytest.raises(ConfigError, match="region names"):
+        merge_streams([[rec(1.0)]], regions=["us", "eu"])
+
+
 # ---------------------------------------------------- zero-overhead pins
 def _timeline_key(result):
     return [
